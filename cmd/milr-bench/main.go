@@ -1,0 +1,247 @@
+// Command milr-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	milr-bench -exp all                      # everything, scaled down
+//	milr-bench -exp fig5 -runs 40 -full      # one figure at paper scale
+//	milr-bench -exp table4,table5 -net mnist
+//	milr-bench -list                         # what can be regenerated
+//
+// Experiment ids match the paper: fig5..fig12, table1..table10 (tables
+// 1–3 are the architectures, 4/6/8 whole-layer recovery, 5/7/9 storage,
+// 10 timing). Trained weights are cached under -cache so repeated
+// invocations skip training.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"milr/internal/bench"
+	"milr/internal/nn"
+)
+
+type experiment struct {
+	id    string
+	title string
+	kind  bench.NetKind
+	run   func(*bench.Env, *config) error
+}
+
+type config struct {
+	runs    int
+	test    int
+	train   int
+	epochs  int
+	seed    uint64
+	full    bool
+	cache   string
+	verbose bool
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "milr-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("milr-bench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "comma-separated experiment ids (fig5..fig12, table1..table10, all)")
+		runs    = fs.Int("runs", 0, "runs per error-rate point (0 = scale default)")
+		test    = fs.Int("test", 0, "evaluation samples per accuracy measurement (0 = scale default)")
+		train   = fs.Int("train", 0, "synthetic training samples (0 = scale default)")
+		epochs  = fs.Int("epochs", 0, "training epochs (0 = scale default)")
+		seed    = fs.Uint64("seed", 42, "master seed")
+		full    = fs.Bool("full", false, "paper-scale settings (slow: hours on one core)")
+		cache   = fs.String("cache", ".milr-cache", "trained-weight cache directory")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		verbose = fs.Bool("v", true, "progress output on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments() {
+			fmt.Printf("%-8s %-16s %s\n", e.id, e.kind, e.title)
+		}
+		return nil
+	}
+	cfg := &config{runs: *runs, test: *test, train: *train, epochs: *epochs,
+		seed: *seed, full: *full, cache: *cache, verbose: *verbose}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	selected := make([]experiment, 0)
+	for _, e := range experiments() {
+		if all || want[e.id] {
+			selected = append(selected, e)
+			delete(want, e.id)
+		}
+	}
+	delete(want, "all")
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown experiment ids: %s (use -list)", strings.Join(unknown, ", "))
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+
+	// Group by network so each environment is built (and trained) once.
+	envs := map[bench.NetKind]*bench.Env{}
+	for _, e := range selected {
+		env, err := envFor(envs, e.kind, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		if err := e.run(env, cfg); err != nil {
+			return fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+	}
+	return nil
+}
+
+func envFor(envs map[bench.NetKind]*bench.Env, kind bench.NetKind, cfg *config) (*bench.Env, error) {
+	if env, ok := envs[kind]; ok {
+		return env, nil
+	}
+	bcfg := bench.DefaultConfig(cfg.seed)
+	if cfg.full {
+		bcfg = bench.FullConfig(cfg.seed)
+	}
+	if cfg.runs > 0 {
+		bcfg.Runs = cfg.runs
+	}
+	if cfg.test > 0 {
+		bcfg.TestSamples = cfg.test
+	}
+	if cfg.train > 0 {
+		bcfg.TrainSamples = cfg.train
+	}
+	if cfg.epochs > 0 {
+		bcfg.Epochs = cfg.epochs
+	}
+	if cfg.verbose {
+		bcfg.Verbose = os.Stderr
+	}
+	env, err := bench.BuildEnvCached(kind, bcfg, cfg.cache)
+	if err != nil {
+		return nil, err
+	}
+	envs[kind] = env
+	return env, nil
+}
+
+func experiments() []experiment {
+	schemes4 := []bench.Scheme{bench.NoRecovery, bench.ECCOnly, bench.MILROnly, bench.ECCPlusMILR}
+	schemes2 := []bench.Scheme{bench.NoRecovery, bench.MILROnly}
+	rberFig := func(title string) func(*bench.Env, *config) error {
+		return func(env *bench.Env, _ *config) error {
+			res, err := bench.RBERSweep(env, bench.PaperRBERRates, schemes4)
+			if err != nil {
+				return err
+			}
+			bench.RenderSweep(os.Stdout, title, res)
+			return nil
+		}
+	}
+	wwFig := func(title string) func(*bench.Env, *config) error {
+		return func(env *bench.Env, _ *config) error {
+			res, err := bench.WholeWeightSweep(env, bench.PaperWholeWeightRates, schemes2)
+			if err != nil {
+				return err
+			}
+			bench.RenderSweep(os.Stdout, title, res)
+			return nil
+		}
+	}
+	layerTable := func(title string) func(*bench.Env, *config) error {
+		return func(env *bench.Env, _ *config) error {
+			rows, err := bench.WholeLayerTable(env)
+			if err != nil {
+				return err
+			}
+			bench.RenderLayerTable(os.Stdout, title, rows)
+			return nil
+		}
+	}
+	storageTable := func(title string) func(*bench.Env, *config) error {
+		return func(env *bench.Env, _ *config) error {
+			bench.RenderStorage(os.Stdout, title, bench.Storage(env))
+			return nil
+		}
+	}
+	archTable := func(title string, build func() (*nn.Model, error)) func(*bench.Env, *config) error {
+		return func(_ *bench.Env, _ *config) error {
+			m, err := build()
+			if err != nil {
+				return err
+			}
+			bench.RenderArchitecture(os.Stdout, title, m)
+			return nil
+		}
+	}
+	return []experiment{
+		{"table1", "MNIST network architecture", bench.Tiny, archTable("Table I: MNIST network", nn.NewMNISTNet)},
+		{"table2", "CIFAR-10 small architecture", bench.Tiny, archTable("Table II: CIFAR-10 small network", nn.NewCIFARSmallNet)},
+		{"table3", "CIFAR-10 large architecture", bench.Tiny, archTable("Table III: CIFAR-10 large network", nn.NewCIFARLargeNet)},
+		{"fig5", "MNIST RBER sweep (none/ECC/MILR/ECC+MILR)", bench.MNIST, rberFig("Figure 5: MNIST normalized accuracy vs RBER")},
+		{"fig6", "MNIST whole-weight errors", bench.MNIST, wwFig("Figure 6: MNIST whole-weight errors")},
+		{"table4", "MNIST whole-layer recovery", bench.MNIST, layerTable("Table IV: MNIST whole-layer error accuracy")},
+		{"table5", "MNIST storage overhead", bench.MNIST, storageTable("Table V: MNIST storage overhead")},
+		{"fig7", "CIFAR-small RBER sweep", bench.CIFARSmall, rberFig("Figure 7: CIFAR-10 small normalized accuracy vs RBER")},
+		{"fig8", "CIFAR-small whole-weight errors", bench.CIFARSmall, wwFig("Figure 8: CIFAR-10 small whole-weight errors")},
+		{"table6", "CIFAR-small whole-layer recovery", bench.CIFARSmall, layerTable("Table VI: CIFAR-10 small whole-layer error accuracy")},
+		{"table7", "CIFAR-small storage overhead", bench.CIFARSmall, storageTable("Table VII: CIFAR-10 small storage overhead")},
+		{"fig9", "CIFAR-large RBER sweep", bench.CIFARLarge, rberFig("Figure 9: CIFAR-10 large normalized accuracy vs RBER")},
+		{"fig10", "CIFAR-large whole-weight errors", bench.CIFARLarge, wwFig("Figure 10: CIFAR-10 large whole-weight errors")},
+		{"table8", "CIFAR-large whole-layer recovery", bench.CIFARLarge, layerTable("Table VIII: CIFAR-10 large whole-layer error accuracy")},
+		{"table9", "CIFAR-large storage overhead", bench.CIFARLarge, storageTable("Table IX: CIFAR-10 large storage overhead")},
+		{"table10", "prediction and identification time", bench.MNIST, func(env *bench.Env, _ *config) error {
+			res, err := bench.Timing(env)
+			if err != nil {
+				return err
+			}
+			bench.RenderTiming(os.Stdout, "Table X: MILR prediction and identification time ("+env.Kind.String()+")", res)
+			return nil
+		}},
+		{"fig11", "recovery time vs errors", bench.MNIST, func(env *bench.Env, _ *config) error {
+			pts, err := bench.RecoveryTimeCurve(env, []int{16, 64, 256, 1024, 4096})
+			if err != nil {
+				return err
+			}
+			bench.RenderRecoveryCurve(os.Stdout, "Figure 11: recovery time vs number of errors ("+env.Kind.String()+")", pts)
+			return nil
+		}},
+		{"psec", "ciphertext-space bit flips (AES-XTS) — the PSEC scenario", bench.MNIST, func(env *bench.Env, _ *config) error {
+			res, err := bench.CiphertextSweep(env, bench.PaperRBERRates[:7],
+				[]bench.Scheme{bench.NoRecovery, bench.ECCOnly, bench.MILROnly})
+			if err != nil {
+				return err
+			}
+			bench.RenderSweep(os.Stdout, "PSEC: ciphertext RBER (each flip garbles a 16-byte plaintext block)", res)
+			return nil
+		}},
+		{"fig12", "availability vs minimum accuracy", bench.MNIST, func(env *bench.Env, _ *config) error {
+			pts, err := bench.AvailabilityCurve(env, 60)
+			if err != nil {
+				return err
+			}
+			bench.RenderAvailability(os.Stdout, "Figure 12: availability vs minimum accuracy ("+env.Kind.String()+")", pts)
+			return nil
+		}},
+	}
+}

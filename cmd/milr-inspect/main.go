@@ -1,0 +1,99 @@
+// Command milr-inspect prints a network's architecture (the paper's
+// Tables I–III) and the MILR protection plan a Protector would build for
+// it: per-layer roles, full-vs-partial conv recoverability, checkpoint
+// boundaries, and the storage bill.
+//
+// Usage:
+//
+//	milr-inspect -net mnist
+//	milr-inspect -net cifar-small -seed 7
+//	milr-inspect -net cifar-large
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"milr/internal/bench"
+	"milr/internal/core"
+	"milr/internal/nn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "milr-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("milr-inspect", flag.ContinueOnError)
+	var (
+		net  = fs.String("net", "mnist", "network: mnist, cifar-small, cifar-large, tiny")
+		seed = fs.Uint64("seed", 42, "master seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model, opts, title, err := buildNet(*net, *seed)
+	if err != nil {
+		return err
+	}
+	model.InitWeights(*seed)
+	bench.RenderArchitecture(os.Stdout, title, model)
+
+	fmt.Println("MILR plan:")
+	prot, err := core.NewProtector(model, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-4s %-12s %-12s %10s  %s\n", "idx", "layer", "role", "params", "notes")
+	for _, info := range prot.PlanInfo() {
+		notes := ""
+		if info.BoundaryBefore {
+			notes += "checkpoint-before "
+		}
+		if info.Role == "conv" {
+			if info.FullSolve {
+				notes += "full-solve "
+			}
+			if info.PartialMode {
+				notes += "partial-recoverable "
+			}
+			if info.InvertNatural {
+				notes += "invertible "
+			}
+			if info.DummyFilters > 0 {
+				notes += fmt.Sprintf("dummy-filters=%d ", info.DummyFilters)
+			}
+		}
+		fmt.Printf("%-4d %-12s %-12s %10d  %s\n", info.Layer, info.Name, info.Role, info.Params, notes)
+	}
+	fmt.Printf("\ncheckpoint boundaries (layer-input positions): %v\n\n", prot.Boundaries())
+	bench.RenderStorage(os.Stdout, "Storage overhead:", prot.Storage())
+	return nil
+}
+
+func buildNet(name string, seed uint64) (*nn.Model, core.Options, string, error) {
+	opts := core.DefaultOptions(seed)
+	switch name {
+	case "mnist":
+		m, err := nn.NewMNISTNet()
+		return m, opts, "MNIST network (Table I)", err
+	case "cifar-small":
+		m, err := nn.NewCIFARSmallNet()
+		return m, opts, "CIFAR-10 small network (Table II)", err
+	case "cifar-large":
+		m, err := nn.NewCIFARLargeNet()
+		// The paper's cost policy for the large network: all convs
+		// partial-recoverable.
+		opts.MaxFullSolveTaps = 1
+		return m, opts, "CIFAR-10 large network (Table III)", err
+	case "tiny":
+		m, err := nn.NewTinyNet()
+		return m, opts, "Tiny network", err
+	default:
+		return nil, opts, "", fmt.Errorf("unknown network %q", name)
+	}
+}

@@ -1,0 +1,114 @@
+// Guarded inference service: the deployment shape the paper's
+// availability analysis assumes (§V-E). A protected model serves
+// predictions while a background guard scrubs it on an interval; MILR's
+// golden data is persisted once (the paper's SSD/persistent-memory
+// boundary) and reloaded on restart without re-running initialization.
+//
+//	go run ./examples/guarded-service
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"milr"
+	"milr/internal/faults"
+	"milr/internal/prng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const seed = 2026
+	model, err := milr.NewTinyNet()
+	if err != nil {
+		return err
+	}
+	model.InitWeights(seed)
+
+	// First boot: initialize MILR and persist its golden data, as if to
+	// SSD or persistent memory.
+	first, err := milr.Protect(model, seed)
+	if err != nil {
+		return err
+	}
+	var persisted bytes.Buffer
+	if err := milr.SaveProtector(first, &persisted); err != nil {
+		return err
+	}
+	fmt.Printf("persisted MILR state: %d KB (init phase never runs again)\n", persisted.Len()/1024)
+
+	// "Restart": reload protection from the persisted state.
+	prot, err := milr.LoadProtector(bytes.NewReader(persisted.Bytes()), model)
+	if err != nil {
+		return err
+	}
+
+	// Start the guard: scrub every 50ms, log every cycle that finds
+	// something.
+	var recoveries atomic.Int64
+	guard, err := milr.NewGuard(prot, milr.GuardConfig{
+		Interval: 50 * time.Millisecond,
+		OnEvent: func(ev milr.GuardEvent) {
+			if ev.Recovery != nil {
+				recoveries.Add(1)
+				fmt.Printf("  guard: flagged %v, recovered in %v\n",
+					ev.Detection.Erroneous(), ev.Elapsed.Round(time.Microsecond))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer guard.Stop()
+
+	// Serve predictions while injecting periodic whole-weight errors —
+	// the service keeps answering and the guard keeps healing.
+	probe := prng.New(5).Tensor(12, 12, 1)
+	want, err := model.Predict(probe)
+	if err != nil {
+		return err
+	}
+	inj := faults.New(seed)
+	served, wrong := 0, 0
+	for round := 0; round < 4; round++ {
+		// An error burst lands in fault-prone memory.
+		inj.WholeWeights(model, 0.003)
+		deadline := time.Now().Add(120 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			got, err := model.Predict(probe)
+			if err != nil {
+				return err
+			}
+			served++
+			if got != want {
+				wrong++
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	stats := guard.Stats()
+	fmt.Printf("\nserved %d predictions during 4 error bursts (%d while degraded)\n", served, wrong)
+	fmt.Printf("guard: %d scrubs, %d detections, %d recoveries, downtime %v\n",
+		stats.Scrubs, stats.ErrorsDetected, stats.Recoveries, stats.Downtime.Round(time.Microsecond))
+	// Availability over the run: downtime / wall time.
+	avail := 1 - stats.Downtime.Seconds()/(0.48)
+	fmt.Printf("availability ≈ %.4f%%\n", 100*math.Max(0, avail))
+	final, err := model.Predict(probe)
+	if err != nil {
+		return err
+	}
+	if final != want {
+		return fmt.Errorf("service did not converge back to the clean prediction")
+	}
+	fmt.Println("model healed back to clean behaviour.")
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package availability models the paper's availability–accuracy trade-off
+// (§V-E, Equation 6, Figure 12). Running detection and recovery takes the
+// network offline; running them rarely lets errors accumulate and
+// accuracy degrade. "Therefore systems have to find a balance that suits
+// their intended mission."
+//
+// The paper's Equation 6 is typeset ambiguously; the interpretation used
+// here (documented in DESIGN.md) keeps its structure and reproduces the
+// monotone trade-off of Figure 12:
+//
+//   - Per error interval Tbe, the system runs detection I times and one
+//     recovery, so availability a = Tbe / (Tbe + I·Td + Tr).
+//   - Inverting for the detection budget: I·Td + Tr = Tbe·(1−a)/a, i.e.
+//     the downtime budget shrinks as required availability grows.
+//   - Fewer detection runs mean errors go unrepaired for longer; with an
+//     error every Tbe and detection every Tbe/I, the expected errors
+//     pending at any time is errorsPerYear/(2I) scaled to the detection
+//     gap, and accuracy is A(n), assumed linear from A(0)=1 down to
+//     A(expectedYearlyErrors) (the paper's stated assumption).
+//
+// The paper instantiates the model with a worst-case DRAM field-failure
+// rate of 75,000 FIT/Mbit (Schroeder et al.), each error hitting an
+// encryption word and thus a weight.
+package availability
+
+import (
+	"fmt"
+	"math"
+)
+
+// FITPerMbit is the paper's worst-case memory fault rate: 75,000 errors
+// per billion device-hours per Mbit.
+const FITPerMbit = 75000.0
+
+// Params configures the trade-off model for one network.
+type Params struct {
+	// DetectSeconds is Td, the measured duration of one detection pass.
+	DetectSeconds float64
+	// RecoverSeconds is Tr, the measured worst-case recovery duration
+	// for the errors expected within one year (the paper's assumption).
+	RecoverSeconds float64
+	// WeightBits is the protected memory footprint in bits.
+	WeightBits float64
+	// DetectionsPerError is I, the number of detection runs between
+	// errors (the paper evaluates I = 2).
+	DetectionsPerError float64
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.DetectSeconds <= 0 || p.RecoverSeconds < 0 {
+		return fmt.Errorf("availability: invalid timings Td=%g Tr=%g", p.DetectSeconds, p.RecoverSeconds)
+	}
+	if p.WeightBits <= 0 {
+		return fmt.Errorf("availability: invalid weight bits %g", p.WeightBits)
+	}
+	if p.DetectionsPerError <= 0 {
+		return fmt.Errorf("availability: invalid detections-per-error %g", p.DetectionsPerError)
+	}
+	return nil
+}
+
+// ErrorsPerYear returns the expected yearly error count for the
+// configured memory footprint at the paper's FIT rate.
+func (p Params) ErrorsPerYear() float64 {
+	mbit := p.WeightBits / 1e6
+	perHour := FITPerMbit * mbit / 1e9
+	return perHour * 24 * 365
+}
+
+// TimeBetweenErrors returns Tbe in seconds.
+func (p Params) TimeBetweenErrors() float64 {
+	epy := p.ErrorsPerYear()
+	if epy == 0 {
+		return math.Inf(1)
+	}
+	return 365 * 24 * 3600 / epy
+}
+
+// Availability returns the steady-state availability when detection runs
+// I times per error interval plus one recovery per interval.
+func (p Params) Availability() float64 {
+	tbe := p.TimeBetweenErrors()
+	downtime := p.DetectionsPerError*p.DetectSeconds + p.RecoverSeconds
+	return tbe / (tbe + downtime)
+}
+
+// Point is one sample of the trade-off curve.
+type Point struct {
+	// Availability in [0,1].
+	Availability float64
+	// MinAccuracy is the lowest accuracy the system can reach between
+	// repairs, normalized to the error-free network.
+	MinAccuracy float64
+}
+
+// Curve samples the availability–minimum-accuracy trade-off, sweeping the
+// detection cadence. Higher cadence (more detections per error) costs
+// availability and buys accuracy; the curve is monotone decreasing in
+// availability, matching Figure 12.
+func Curve(p Params, points int) ([]Point, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if points < 2 {
+		return nil, fmt.Errorf("availability: need ≥ 2 points, got %d", points)
+	}
+	epy := p.ErrorsPerYear()
+	out := make([]Point, 0, points)
+	// Sweep the detection cadence I logarithmically from sparse (errors
+	// accumulate for a long time) to aggressive.
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		cadence := math.Pow(10, -1+4*frac) // I from 0.1 to 1000
+		q := p
+		q.DetectionsPerError = cadence
+		// Errors pending between repairs: one error interval holds one
+		// error; with cadence I, the repair lag is 1/I intervals, so the
+		// worst-case pending errors before recovery completes is
+		// max(1, epy·lag/epy) ≈ 1/I error intervals' worth of the
+		// yearly error budget.
+		pending := epy / (cadence * 365 * 24 * 3600 / q.TimeBetweenErrors())
+		// Simplifies to 1/cadence errors per interval times yearly count
+		// normalization; clamp to the yearly total.
+		if pending > epy {
+			pending = epy
+		}
+		acc := 1.0
+		if epy > 0 {
+			acc = 1 - pending/epy // linear A(n) from 1 at n=0 to 0 at n=epy
+		}
+		out = append(out, Point{Availability: q.Availability(), MinAccuracy: acc})
+	}
+	return out, nil
+}
+
+// AccuracyAt interpolates the curve for a required availability,
+// answering the paper's user-B question ("needs availability of at least
+// 99.9%: what accuracy does each network obtain?").
+func AccuracyAt(curve []Point, availability float64) (float64, error) {
+	if len(curve) == 0 {
+		return 0, fmt.Errorf("availability: empty curve")
+	}
+	best := -1.0
+	for _, pt := range curve {
+		if pt.Availability >= availability && pt.MinAccuracy > best {
+			best = pt.MinAccuracy
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("availability: %.6f unreachable (max %.6f)", availability, maxAvail(curve))
+	}
+	return best, nil
+}
+
+// AvailabilityAt answers the user-A question: the best availability
+// achievable while sustaining at least the required accuracy.
+func AvailabilityAt(curve []Point, accuracy float64) (float64, error) {
+	if len(curve) == 0 {
+		return 0, fmt.Errorf("availability: empty curve")
+	}
+	best := -1.0
+	for _, pt := range curve {
+		if pt.MinAccuracy >= accuracy && pt.Availability > best {
+			best = pt.Availability
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("availability: accuracy %.6f unreachable", accuracy)
+	}
+	return best, nil
+}
+
+func maxAvail(curve []Point) float64 {
+	m := 0.0
+	for _, pt := range curve {
+		if pt.Availability > m {
+			m = pt.Availability
+		}
+	}
+	return m
+}

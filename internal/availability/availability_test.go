@@ -1,0 +1,121 @@
+package availability
+
+import (
+	"testing"
+)
+
+func mnistParams() Params {
+	return Params{
+		DetectSeconds:      0.010,
+		RecoverSeconds:     1.0,
+		WeightBits:         1669290 * 32,
+		DetectionsPerError: 2,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := mnistParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := mnistParams()
+	bad.DetectSeconds = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero Td accepted")
+	}
+	bad = mnistParams()
+	bad.WeightBits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero weight bits accepted")
+	}
+}
+
+func TestErrorsPerYearScalesWithSize(t *testing.T) {
+	small := mnistParams()
+	large := mnistParams()
+	large.WeightBits *= 10
+	if large.ErrorsPerYear() <= small.ErrorsPerYear() {
+		t.Error("larger memory must see more errors")
+	}
+	// Sanity: MNIST net ≈ 53.4 Mbit → 75000·53.4/1e9 errors/hour ≈ 35/yr.
+	epy := small.ErrorsPerYear()
+	if epy < 10 || epy > 100 {
+		t.Errorf("errors per year %v outside plausible range", epy)
+	}
+}
+
+func TestAvailabilityBounds(t *testing.T) {
+	a := mnistParams().Availability()
+	if a <= 0 || a >= 1 {
+		t.Errorf("availability %v outside (0,1)", a)
+	}
+}
+
+func TestCurveMonotoneTradeoff(t *testing.T) {
+	curve, err := Curve(mnistParams(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 50 {
+		t.Fatalf("got %d points", len(curve))
+	}
+	// Sweeping cadence up: availability must not increase, accuracy must
+	// not decrease.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Availability > curve[i-1].Availability+1e-12 {
+			t.Errorf("availability not monotone at %d: %v > %v", i, curve[i].Availability, curve[i-1].Availability)
+		}
+		if curve[i].MinAccuracy < curve[i-1].MinAccuracy-1e-12 {
+			t.Errorf("accuracy not monotone at %d", i)
+		}
+	}
+	for _, pt := range curve {
+		if pt.Availability <= 0 || pt.Availability > 1 || pt.MinAccuracy < 0 || pt.MinAccuracy > 1 {
+			t.Errorf("point out of range: %+v", pt)
+		}
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := Curve(mnistParams(), 1); err == nil {
+		t.Error("single-point curve accepted")
+	}
+	bad := mnistParams()
+	bad.DetectSeconds = -1
+	if _, err := Curve(bad, 10); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestUserQueries(t *testing.T) {
+	curve, err := Curve(mnistParams(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User B: availability ≥ 99.9% must be satisfiable and yield some
+	// accuracy.
+	acc, err := AccuracyAt(curve, 0.999)
+	if err != nil {
+		t.Fatalf("AccuracyAt: %v", err)
+	}
+	if acc <= 0 || acc > 1 {
+		t.Errorf("accuracy %v out of range", acc)
+	}
+	// User A: requiring more accuracy costs availability.
+	loAcc, err := AvailabilityAt(curve, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiAcc, err := AvailabilityAt(curve, 0.9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiAcc > loAcc+1e-12 {
+		t.Errorf("higher accuracy requirement yielded higher availability: %v vs %v", hiAcc, loAcc)
+	}
+	if _, err := AccuracyAt(curve, 1.1); err == nil {
+		t.Error("impossible availability accepted")
+	}
+	if _, err := AccuracyAt(nil, 0.5); err == nil {
+		t.Error("empty curve accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// Trained-weight caching: training the CIFAR networks in pure Go on one
+// core takes minutes, so cmd/milr-bench caches trained weights on disk
+// keyed by network kind and training configuration. The cache holds only
+// weights; everything else (datasets, checkpoints) regenerates from the
+// seed.
+
+type cacheFile struct {
+	Kind         int
+	Seed         uint64
+	TrainSamples int
+	Epochs       int
+	BaseAcc      float64
+	Weights      map[int][]float32
+}
+
+func cacheKey(kind NetKind, cfg Config) string {
+	return fmt.Sprintf("milr-%d-seed%d-n%d-e%d.gob", int(kind), cfg.Seed, cfg.TrainSamples, cfg.Epochs)
+}
+
+// SaveWeights writes the model's trained weights to dir.
+func SaveWeights(dir string, env *Env) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bench: cache dir: %w", err)
+	}
+	cf := cacheFile{
+		Kind:         int(env.Kind),
+		Seed:         env.Config.Seed,
+		TrainSamples: env.Config.TrainSamples,
+		Epochs:       env.Config.Epochs,
+		BaseAcc:      env.BaseAcc,
+		Weights:      map[int][]float32{},
+	}
+	for idx, t := range env.Model.Snapshot() {
+		cf.Weights[idx] = append([]float32(nil), t.Data()...)
+	}
+	path := filepath.Join(dir, cacheKey(env.Kind, env.Config))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: cache create: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&cf); err != nil {
+		return fmt.Errorf("bench: cache encode: %w", err)
+	}
+	return nil
+}
+
+// loadWeights restores cached weights into a freshly built model,
+// returning the cached baseline accuracy. It returns os.ErrNotExist when
+// no usable cache entry exists.
+func loadWeights(dir string, kind NetKind, cfg Config, m *nn.Model) (float64, error) {
+	path := filepath.Join(dir, cacheKey(kind, cfg))
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var cf cacheFile
+	if err := gob.NewDecoder(f).Decode(&cf); err != nil {
+		return 0, fmt.Errorf("bench: cache decode %s: %w", path, err)
+	}
+	if cf.Kind != int(kind) || cf.Seed != cfg.Seed {
+		return 0, os.ErrNotExist
+	}
+	snap := map[int]*tensor.Tensor{}
+	for idx, w := range cf.Weights {
+		if idx < 0 || idx >= m.NumLayers() {
+			return 0, fmt.Errorf("bench: cache layer index %d out of range", idx)
+		}
+		p, ok := m.Layer(idx).(nn.Parameterized)
+		if !ok {
+			return 0, fmt.Errorf("bench: cache layer %d not parameterized", idx)
+		}
+		if len(w) != p.ParamCount() {
+			return 0, fmt.Errorf("bench: cache layer %d has %d weights, want %d", idx, len(w), p.ParamCount())
+		}
+		t, err := tensor.FromSlice(w, len(w))
+		if err != nil {
+			return 0, err
+		}
+		snap[idx] = t
+	}
+	if err := m.Restore(snap); err != nil {
+		return 0, err
+	}
+	return cf.BaseAcc, nil
+}
+
+// BuildEnvCached is BuildEnv with a disk cache for the trained weights:
+// on a hit, training is skipped entirely.
+func BuildEnvCached(kind NetKind, cfg Config, dir string) (*Env, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	model, opts, data, err := buildNet(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseAcc, err := loadWeights(dir, kind, cfg, model)
+	if err != nil {
+		cfg.logf("[%s] no weight cache (%v); training", kind, err)
+		return buildAndMaybeSave(kind, cfg, dir)
+	}
+	cfg.logf("[%s] loaded cached weights (baseline %.1f%%)", kind, 100*baseAcc)
+	pr, err := newProtector(model, opts, cfg, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Kind:      kind,
+		Model:     model,
+		Protector: pr,
+		ECC:       newECC(model),
+		Test:      data.test,
+		BaseAcc:   baseAcc,
+		Config:    cfg,
+		clean:     model.Snapshot(),
+	}, nil
+}
+
+func buildAndMaybeSave(kind NetKind, cfg Config, dir string) (*Env, error) {
+	env, err := BuildEnv(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := SaveWeights(dir, env); err != nil {
+		cfg.logf("[%s] weight cache write failed: %v", kind, err)
+	}
+	return env, nil
+}

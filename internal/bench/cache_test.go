@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadWeightsMissingFile(t *testing.T) {
+	m, _, _, err := buildNet(Tiny, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadWeights(t.TempDir(), Tiny, DefaultConfig(1), m); err == nil {
+		t.Fatal("missing cache file accepted")
+	}
+}
+
+func TestLoadWeightsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig(1)
+	path := filepath.Join(dir, cacheKey(Tiny, cfg))
+	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, _, _, err := buildNet(Tiny, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadWeights(dir, Tiny, cfg, m); err == nil {
+		t.Fatal("corrupt cache accepted")
+	}
+}
+
+func TestLoadWeightsWrongArchitecture(t *testing.T) {
+	// Save a tiny env, then try to load it into an MNIST model: the
+	// layer sizes must not match and the load must fail rather than
+	// silently mis-restore.
+	dir := t.TempDir()
+	cfg := Config{Runs: 1, TestSamples: 10, TrainSamples: 20, Epochs: 1, Seed: 77}
+	env, err := BuildEnv(Tiny, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWeights(dir, env); err != nil {
+		t.Fatal(err)
+	}
+	// Force the same cache key to be read for a different architecture.
+	mnist, _, _, err := buildNet(MNIST, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, cacheKey(Tiny, cfg))
+	dst := filepath.Join(dir, cacheKey(MNIST, cfg))
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadWeights(dir, MNIST, cfg, mnist); err == nil {
+		t.Fatal("cross-architecture cache accepted")
+	}
+}
+
+func TestCacheKeyDistinguishesConfigs(t *testing.T) {
+	a := cacheKey(Tiny, Config{Seed: 1, TrainSamples: 10, Epochs: 1})
+	b := cacheKey(Tiny, Config{Seed: 2, TrainSamples: 10, Epochs: 1})
+	c := cacheKey(MNIST, Config{Seed: 1, TrainSamples: 10, Epochs: 1})
+	d := cacheKey(Tiny, Config{Seed: 1, TrainSamples: 20, Epochs: 1})
+	keys := map[string]bool{a: true, b: true, c: true, d: true}
+	if len(keys) != 4 {
+		t.Fatalf("cache keys collide: %q %q %q %q", a, b, c, d)
+	}
+}

@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"milr/internal/availability"
+	"milr/internal/core"
+	"milr/internal/faults"
+	"milr/internal/nn"
+)
+
+// Scheme is a protection strategy under test.
+type Scheme int
+
+const (
+	// NoRecovery measures the raw effect of the injected errors.
+	NoRecovery Scheme = iota + 1
+	// ECCOnly scrubs with SECDED.
+	ECCOnly
+	// MILROnly self-heals with MILR.
+	MILROnly
+	// ECCPlusMILR scrubs first, then self-heals — the paper's combined
+	// configuration.
+	ECCPlusMILR
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case NoRecovery:
+		return "No recovery"
+	case ECCOnly:
+		return "ECC"
+	case MILROnly:
+		return "MILR"
+	case ECCPlusMILR:
+		return "ECC + MILR"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// BoxStats summarizes the paper's box plots: median, quartiles, whiskers.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+	N                        int
+}
+
+// ComputeBoxStats builds the summary from raw samples.
+func ComputeBoxStats(vals []float64) BoxStats {
+	if len(vals) == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	q := func(f float64) float64 {
+		pos := f * float64(len(s)-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(s) {
+			return s[len(s)-1]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return BoxStats{
+		Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1],
+		Mean: sum / float64(len(s)), N: len(s),
+	}
+}
+
+// SweepPoint is one error rate's outcome under one scheme.
+type SweepPoint struct {
+	Rate   float64
+	Scheme Scheme
+	Stats  BoxStats
+	// DetectedAll counts runs where every layer carrying errors was
+	// flagged (the paper reports this detection-coverage rate, §V-B).
+	DetectedAll int
+}
+
+// SweepResult is a whole figure: rates × schemes.
+type SweepResult struct {
+	Name   string
+	Points []SweepPoint
+}
+
+// PaperRBERRates are the x axes of Figures 5, 7 and 9.
+var PaperRBERRates = []float64{1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3}
+
+// PaperWholeWeightRates are the x axes of Figures 6, 8 and 10.
+var PaperWholeWeightRates = []float64{1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3}
+
+// RBERSweep reproduces the random bit-flip figures: for each error rate
+// and scheme, inject, optionally repair, and measure normalized
+// accuracy over cfg.Runs runs.
+func RBERSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult, error) {
+	return sweep(env, rates, schemes, func(inj *faults.Injector, rate float64) error {
+		inj.BitFlips(env.Model, rate)
+		return nil
+	}, "RBER")
+}
+
+// WholeWeightSweep reproduces the whole-weight error figures (every bit
+// of a hit weight flipped) — the plaintext-space error model where ECC
+// is not applicable.
+func WholeWeightSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult, error) {
+	return sweep(env, rates, schemes, func(inj *faults.Injector, rate float64) error {
+		inj.WholeWeights(env.Model, rate)
+		return nil
+	}, "whole-weight")
+}
+
+// CiphertextSweep injects bit flips into the AES-XTS ciphertext of the
+// weights instead of the plaintext: the PSEC scenario of §I where each
+// flip garbles a 16-byte block.
+func CiphertextSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult, error) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(0x9e ^ i*31)
+	}
+	return sweep(env, rates, schemes, func(inj *faults.Injector, rate float64) error {
+		_, err := inj.CiphertextBitFlips(env.Model, rate, key)
+		return err
+	}, "ciphertext")
+}
+
+func sweep(env *Env, rates []float64, schemes []Scheme, inject func(*faults.Injector, float64) error, name string) (*SweepResult, error) {
+	result := &SweepResult{Name: name}
+	for ri, rate := range rates {
+		for _, scheme := range schemes {
+			vals := make([]float64, 0, env.Config.Runs)
+			detectedAll := 0
+			for run := 0; run < env.Config.Runs; run++ {
+				if err := env.Reset(); err != nil {
+					return nil, err
+				}
+				inj := faults.New(runSeed(env.Config.Seed, ri, run))
+				if err := inject(inj, rate); err != nil {
+					return nil, err
+				}
+				covered, err := applyScheme(env, scheme)
+				if err != nil {
+					return nil, err
+				}
+				if covered {
+					detectedAll++
+				}
+				acc, err := env.NormalizedAccuracy()
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, acc)
+			}
+			result.Points = append(result.Points, SweepPoint{
+				Rate:        rate,
+				Scheme:      scheme,
+				Stats:       ComputeBoxStats(vals),
+				DetectedAll: detectedAll,
+			})
+			env.Config.logf("  [%s %s] rate %.0e: median %.3f (n=%d)", name, scheme, rate,
+				result.Points[len(result.Points)-1].Stats.Median, len(vals))
+		}
+	}
+	if err := env.Reset(); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// applyScheme repairs the injected errors per the scheme and reports
+// whether the repair path believes it covered everything (for MILR: no
+// approximate/failed layers).
+func applyScheme(env *Env, scheme Scheme) (bool, error) {
+	switch scheme {
+	case NoRecovery:
+		return true, nil
+	case ECCOnly:
+		stats, err := env.ScrubECC()
+		if err != nil {
+			return false, err
+		}
+		return stats.Uncorrectable == 0, nil
+	case MILROnly:
+		_, rec, err := env.Protector.SelfHeal()
+		if err != nil {
+			return false, err
+		}
+		return rec.AllRecovered(), nil
+	case ECCPlusMILR:
+		if _, err := env.ScrubECC(); err != nil {
+			return false, err
+		}
+		_, rec, err := env.Protector.SelfHeal()
+		if err != nil {
+			return false, err
+		}
+		return rec.AllRecovered(), nil
+	default:
+		return false, fmt.Errorf("bench: unknown scheme %d", scheme)
+	}
+}
+
+// LayerRow is one row of the whole-layer corruption tables (IV/VI/VIII).
+type LayerRow struct {
+	Label string
+	// NoneAcc is the normalized accuracy with the corrupted layer left
+	// in place.
+	NoneAcc float64
+	// MILRAcc is the normalized accuracy after MILR recovery.
+	MILRAcc float64
+	// Partial marks the paper's "N/A — convolution partial recoverable"
+	// rows (our measured best-effort accuracy is still reported).
+	Partial bool
+}
+
+// WholeLayerTable corrupts each parameterized layer in turn (every value
+// replaced with a fresh random one), measures the damage, self-heals,
+// and measures recovery.
+func WholeLayerTable(env *Env) ([]LayerRow, error) {
+	var rows []LayerRow
+	info := env.Protector.PlanInfo()
+	convN, denseN := -1, -1
+	for li, l := range env.Model.Layers() {
+		p, ok := l.(nn.Parameterized)
+		if !ok {
+			continue
+		}
+		var label string
+		switch l.(type) {
+		case *nn.Conv2D:
+			convN++
+			label = numbered("Conv.", convN)
+		case *nn.Dense:
+			denseN++
+			label = numbered("Dense", denseN)
+		case *nn.Bias:
+			// The paper labels bias rows after their host layer.
+			switch {
+			case convN >= 0 && denseN < 0:
+				label = numbered("Conv.", convN) + " Bias"
+			default:
+				label = numbered("Dense", denseN) + " Bias"
+			}
+		}
+		if err := env.Reset(); err != nil {
+			return nil, err
+		}
+		faults.New(runSeed(env.Config.Seed, li, 7)).OverwriteLayer(p)
+		noneAcc, err := env.NormalizedAccuracy()
+		if err != nil {
+			return nil, err
+		}
+		_, rec, err := env.Protector.SelfHeal()
+		if err != nil {
+			return nil, err
+		}
+		milrAcc, err := env.NormalizedAccuracy()
+		if err != nil {
+			return nil, err
+		}
+		partial := info[li].Role == "conv" && info[li].PartialMode
+		_ = rec
+		rows = append(rows, LayerRow{Label: label, NoneAcc: noneAcc, MILRAcc: milrAcc, Partial: partial})
+		env.Config.logf("  [layer %s] none %.3f, MILR %.3f%s", label, noneAcc, milrAcc,
+			map[bool]string{true: " (partial)", false: ""}[partial])
+	}
+	if err := env.Reset(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func numbered(base string, n int) string {
+	if n == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s %d", base, n)
+}
+
+// TimingResult reproduces Table X.
+type TimingResult struct {
+	SinglePrediction time.Duration
+	BatchPerSample   time.Duration
+	Identification   time.Duration
+}
+
+// Timing measures single-prediction latency, amortized per-sample
+// prediction cost over the test set, and MILR's error-identification
+// (detection) time.
+func Timing(env *Env) (*TimingResult, error) {
+	if err := env.Reset(); err != nil {
+		return nil, err
+	}
+	x := env.Test[0].X
+	// Warm up, then measure single prediction.
+	if _, err := env.Model.Forward(x); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	const singleReps = 5
+	for i := 0; i < singleReps; i++ {
+		if _, err := env.Model.Forward(x); err != nil {
+			return nil, err
+		}
+	}
+	single := time.Since(start) / singleReps
+	// Amortized batch: sequential evaluation of the whole test set.
+	start = time.Now()
+	for _, s := range env.Test {
+		if _, err := env.Model.Forward(s.X); err != nil {
+			return nil, err
+		}
+	}
+	batch := time.Since(start) / time.Duration(len(env.Test))
+	// Identification = one detection pass.
+	start = time.Now()
+	if _, err := env.Protector.Detect(); err != nil {
+		return nil, err
+	}
+	ident := time.Since(start)
+	return &TimingResult{SinglePrediction: single, BatchPerSample: batch, Identification: ident}, nil
+}
+
+// RecoveryPoint is one sample of the Figure 11 curve.
+type RecoveryPoint struct {
+	Errors  int
+	Elapsed time.Duration
+}
+
+// RecoveryTimeCurve flips exact error counts and times detection +
+// recovery, reproducing the recovery-time-vs-errors relationship of
+// Figure 11.
+func RecoveryTimeCurve(env *Env, errorCounts []int) ([]RecoveryPoint, error) {
+	var out []RecoveryPoint
+	for i, n := range errorCounts {
+		if err := env.Reset(); err != nil {
+			return nil, err
+		}
+		faults.New(runSeed(env.Config.Seed, i, 13)).FlipExactBits(env.Model, n)
+		start := time.Now()
+		if _, _, err := env.Protector.SelfHeal(); err != nil {
+			return nil, err
+		}
+		out = append(out, RecoveryPoint{Errors: n, Elapsed: time.Since(start)})
+		env.Config.logf("  [recovery-time] %d errors: %v", n, out[len(out)-1].Elapsed)
+	}
+	if err := env.Reset(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AvailabilityCurve builds the Figure 12 trade-off from measured timings.
+func AvailabilityCurve(env *Env, points int) ([]availability.Point, error) {
+	timing, err := Timing(env)
+	if err != nil {
+		return nil, err
+	}
+	// Worst-case recovery: time one full self-heal after a dense burst.
+	rec, err := RecoveryTimeCurve(env, []int{256})
+	if err != nil {
+		return nil, err
+	}
+	params := availability.Params{
+		DetectSeconds:      timing.Identification.Seconds(),
+		RecoverSeconds:     rec[0].Elapsed.Seconds(),
+		WeightBits:         float64(env.Model.ParamCount()) * 32,
+		DetectionsPerError: 2,
+	}
+	return availability.Curve(params, points)
+}
+
+// Storage returns the network's storage report (Tables V/VII/IX).
+func Storage(env *Env) *core.StorageReport {
+	return env.Protector.Storage()
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineBounds(t *testing.T) {
+	cases := []BoxStats{
+		{Min: 0, Q1: 0.25, Median: 0.5, Q3: 0.75, Max: 1},
+		{Min: 1, Q1: 1, Median: 1, Q3: 1, Max: 1},
+		{Min: 0, Q1: 0, Median: 0, Q3: 0, Max: 0},
+		{Min: -0.5, Q1: 0.2, Median: 0.6, Q3: 1.1, Max: 2}, // out-of-range clamps
+	}
+	for i, s := range cases {
+		line := sparkline(s)
+		if len(line) != 32 { // 30 columns + brackets
+			t.Errorf("case %d: sparkline length %d: %q", i, len(line), line)
+		}
+		if !strings.Contains(line, "|") {
+			t.Errorf("case %d: no median marker: %q", i, line)
+		}
+	}
+}
+
+func TestComputeBoxStatsQuartiles(t *testing.T) {
+	// 1..9: median 5, q1 3, q3 7.
+	vals := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	s := ComputeBoxStats(vals)
+	if s.Median != 5 || s.Q1 != 3 || s.Q3 != 7 {
+		t.Errorf("stats %+v", s)
+	}
+	single := ComputeBoxStats([]float64{0.42})
+	if single.Min != 0.42 || single.Max != 0.42 || single.Median != 0.42 {
+		t.Errorf("single-sample stats %+v", single)
+	}
+}
+
+func TestNumberedLabels(t *testing.T) {
+	if numbered("Conv.", 0) != "Conv." {
+		t.Error("first layer should have no suffix")
+	}
+	if numbered("Conv.", 2) != "Conv. 2" {
+		t.Error("suffix wrong")
+	}
+}

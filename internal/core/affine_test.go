@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"milr/internal/faults"
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// affineNet builds a small conv→affine→relu→flatten→dense network: the
+// batch-norm-at-inference extension integrated into a realistic stack.
+func affineNet(t *testing.T, seed uint64) (*nn.Model, *Protector) {
+	t.Helper()
+	conv, err := nn.NewConv2D(3, 1, 4, 1, nn.Valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff, err := nn.NewAffine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := nn.NewDense(400, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.NewModel(tensor.Shape{12, 12, 1},
+		conv, aff, nn.NewReLU(), nn.NewFlatten(), dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(seed)
+	// InitWeights leaves non-conv/dense parameters alone except zeroing;
+	// give the affine layer non-trivial values.
+	copy(aff.Gain(), []float32{1.5, -0.7, 2.1, 0.9})
+	copy(aff.Shift(), []float32{0.2, -0.3, 0.05, 1.1})
+	pr, err := NewProtector(m, DefaultOptions(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pr
+}
+
+func TestAffineDetectAndRecover(t *testing.T) {
+	m, pr := affineNet(t, 61)
+	clean := m.Snapshot()
+	var aff *nn.Affine
+	for _, l := range m.Layers() {
+		if a, ok := l.(*nn.Affine); ok {
+			aff = a
+		}
+	}
+	// Corrupt a gain and a shift on different channels.
+	aff.Gain()[1] = 9
+	aff.Shift()[3] = -40
+	det, rec, err := pr.SelfHeal()
+	if err != nil {
+		t.Fatalf("SelfHeal: %v", err)
+	}
+	if !det.HasErrors() {
+		t.Fatal("affine corruption undetected")
+	}
+	if !rec.AllRecovered() {
+		t.Fatalf("affine recovery not clean: %+v", rec.Results)
+	}
+	if diff := maxParamDiff(clean, m.Snapshot()); diff > 1e-3 {
+		t.Fatalf("parameters differ by %g after affine recovery", diff)
+	}
+}
+
+func TestAffineWholeLayerRecovery(t *testing.T) {
+	m, pr := affineNet(t, 62)
+	clean := m.Snapshot()
+	var aff *nn.Affine
+	var idx int
+	for i, l := range m.Layers() {
+		if a, ok := l.(*nn.Affine); ok {
+			aff, idx = a, i
+		}
+	}
+	faults.New(3).OverwriteLayer(aff)
+	det, rec, err := pr.SelfHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := false
+	for _, f := range det.Findings {
+		if f.Layer == idx {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("whole-layer affine corruption not flagged")
+	}
+	if !rec.AllRecovered() {
+		t.Fatalf("recovery not clean: %+v", rec.Results)
+	}
+	if diff := maxParamDiff(clean, m.Snapshot()); diff > 1e-3 {
+		t.Fatalf("parameters differ by %g", diff)
+	}
+}
+
+func TestAffineInversionInBackwardPath(t *testing.T) {
+	// The affine sits between the conv and the dense boundary; recovering
+	// the conv requires inverting the affine on the way back.
+	m, pr := affineNet(t, 63)
+	clean := m.Snapshot()
+	conv := m.Layer(0).(*nn.Conv2D)
+	conv.Params().Data()[0] += 12
+	det, rec, err := pr.SelfHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det.Erroneous()) != 1 || det.Erroneous()[0] != 0 {
+		t.Fatalf("flagged %v, want [0]", det.Erroneous())
+	}
+	if !rec.AllRecovered() {
+		t.Fatalf("conv recovery through affine failed: %+v", rec.Results)
+	}
+	if diff := maxParamDiff(clean, m.Snapshot()); diff > 1e-3 {
+		t.Fatalf("parameters differ by %g", diff)
+	}
+}
+
+func TestAffinePersistence(t *testing.T) {
+	m, pr := affineNet(t, 64)
+	clean := m.Snapshot()
+	var buf bytes.Buffer
+	if err := pr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pr2, err := LoadProtector(bytes.NewReader(buf.Bytes()), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aff *nn.Affine
+	for _, l := range m.Layers() {
+		if a, ok := l.(*nn.Affine); ok {
+			aff = a
+		}
+	}
+	aff.Gain()[0] = -5
+	det, rec, err := pr2.SelfHeal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.HasErrors() || !rec.AllRecovered() {
+		t.Fatalf("loaded protector failed on affine: %+v", rec.Results)
+	}
+	if diff := maxParamDiff(clean, m.Snapshot()); diff > 1e-3 {
+		t.Fatalf("parameters differ by %g", diff)
+	}
+}
+
+func TestAffineStorageAccounting(t *testing.T) {
+	m, pr := affineNet(t, 65)
+	rep := pr.Storage()
+	var affBytes int
+	for i, l := range m.Layers() {
+		if _, ok := l.(*nn.Affine); ok {
+			affBytes = rep.Layers[i].PartialBytes
+		}
+	}
+	// Two float32 probes per channel, 4 channels.
+	if affBytes != 2*4*4 {
+		t.Errorf("affine partial bytes %d, want 32", affBytes)
+	}
+}

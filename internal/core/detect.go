@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// Error detection (paper §III, Figure 2): each parameterized layer has a
+// layer-local pseudo-random input, regenerated from the master seed, and
+// a stored partial checkpoint — one output value per parameter subset
+// (per filter for convolutions, per parameter column for dense layers,
+// the parameter sum for bias layers). "A partial checkpoint can be up to
+// two orders of magnitude smaller than a full checkpoint for
+// convolutional layers."
+
+// LayerFinding describes what detection saw in one layer.
+type LayerFinding struct {
+	// Layer is the model layer index.
+	Layer int
+	// Name is the layer's model name.
+	Name string
+	// Filters lists mismatching filters (conv layers).
+	Filters []int
+	// Columns lists mismatching parameter columns (dense layers).
+	Columns []int
+	// SumMismatch marks a bias parameter-sum mismatch.
+	SumMismatch bool
+}
+
+// DetectionReport is the "log of erroneous layers" the recovery phase
+// consumes (§III).
+type DetectionReport struct {
+	Findings []LayerFinding
+}
+
+// Erroneous returns the flagged layer indices in ascending order.
+func (r *DetectionReport) Erroneous() []int {
+	out := make([]int, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		out = append(out, f.Layer)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasErrors reports whether any layer was flagged.
+func (r *DetectionReport) HasErrors() bool { return len(r.Findings) > 0 }
+
+// detectInput regenerates the layer-local detection input.
+func (pr *Protector) detectInput(lp *layerPlan) *tensor.Tensor {
+	shape := pr.model.LayerInShape(lp.idx)
+	return prng.TensorFor(pr.opts.Seed, lp.detectTag, shape...)
+}
+
+// convPartialCheckpoint stores one output value per filter: the filter's
+// response at the centre output position of the layer-local PRNG input,
+// a position whose receptive field covers every filter tap.
+func (pr *Protector) convPartialCheckpoint(lp *layerPlan) (*tensor.Tensor, error) {
+	out, err := lp.conv.RecoveryForward(pr.detectInput(lp))
+	if err != nil {
+		return nil, fmt.Errorf("core: partial checkpoint conv layer %d: %w", lp.idx, err)
+	}
+	gh, gw, y := out.Dim(0), out.Dim(1), out.Dim(2)
+	partial := tensor.New(y)
+	for k := 0; k < y; k++ {
+		partial.Set(out.At(gh/2, gw/2, k), k)
+	}
+	return partial, nil
+}
+
+// densePartialCheckpoint stores one output value per parameter column:
+// the product of a single PRNG input row with the parameter matrix.
+func (pr *Protector) densePartialCheckpoint(lp *layerPlan) (*tensor.Tensor, error) {
+	in := prng.TensorFor(pr.opts.Seed, lp.detectTag, 1, lp.dense.In())
+	out, err := lp.dense.RecoveryForward(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: partial checkpoint dense layer %d: %w", lp.idx, err)
+	}
+	partial := tensor.New(lp.dense.Out())
+	copy(partial.Data(), out.Data())
+	return partial, nil
+}
+
+// Detect runs MILR's error-detection phase: every parameterized layer's
+// pseudo-random input is regenerated and run through that layer alone,
+// and the output is compared with the stored partial checkpoint. The
+// scheme is lightweight by design, and like the paper's it only flags
+// errors "significant enough to detect" (§V-B).
+func (pr *Protector) Detect() (*DetectionReport, error) {
+	report := &DetectionReport{}
+	for _, lp := range pr.plan.layers {
+		switch lp.role {
+		case roleConv:
+			finding, err := pr.detectConv(lp)
+			if err != nil {
+				return nil, err
+			}
+			if finding != nil {
+				report.Findings = append(report.Findings, *finding)
+			}
+		case roleDense:
+			finding, err := pr.detectDense(lp)
+			if err != nil {
+				return nil, err
+			}
+			if finding != nil {
+				report.Findings = append(report.Findings, *finding)
+			}
+		case roleBias:
+			sum := lp.bias.Params().Sum()
+			if relMismatch(sum, lp.biasSum, pr.opts.DetectTol) {
+				report.Findings = append(report.Findings, LayerFinding{
+					Layer:       lp.idx,
+					Name:        pr.model.Layer(lp.idx).Name(),
+					SumMismatch: true,
+				})
+			}
+		case roleAffine:
+			finding, err := pr.detectAffine(lp)
+			if err != nil {
+				return nil, err
+			}
+			if finding != nil {
+				report.Findings = append(report.Findings, *finding)
+			}
+		}
+	}
+	return report, nil
+}
+
+func (pr *Protector) detectConv(lp *layerPlan) (*LayerFinding, error) {
+	out, err := lp.conv.RecoveryForward(pr.detectInput(lp))
+	if err != nil {
+		return nil, fmt.Errorf("core: detect conv layer %d: %w", lp.idx, err)
+	}
+	gh, gw, y := out.Dim(0), out.Dim(1), out.Dim(2)
+	var flagged []int
+	pd := lp.partial.Data()
+	for k := 0; k < y; k++ {
+		if relMismatch(float64(out.At(gh/2, gw/2, k)), float64(pd[k]), pr.opts.DetectTol) {
+			flagged = append(flagged, k)
+		}
+	}
+	if len(flagged) == 0 {
+		return nil, nil
+	}
+	return &LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Filters: flagged}, nil
+}
+
+func (pr *Protector) detectDense(lp *layerPlan) (*LayerFinding, error) {
+	in := prng.TensorFor(pr.opts.Seed, lp.detectTag, 1, lp.dense.In())
+	out, err := lp.dense.RecoveryForward(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: detect dense layer %d: %w", lp.idx, err)
+	}
+	od := out.Data()
+	pd := lp.partial.Data()
+	var flagged []int
+	for j := range pd {
+		if relMismatch(float64(od[j]), float64(pd[j]), pr.opts.DetectTol) {
+			flagged = append(flagged, j)
+		}
+	}
+	if len(flagged) == 0 {
+		return nil, nil
+	}
+	return &LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Columns: flagged}, nil
+}

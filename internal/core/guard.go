@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Guard runs MILR's detection phase on a schedule and triggers recovery
+// when errors appear — the deployment loop behind the paper's
+// availability–accuracy trade-off (§V-E): detection cadence is the knob
+// that trades downtime for bounded error accumulation.
+//
+// The guard owns one background goroutine with an explicit lifecycle
+// (Stop blocks until it has exited); it never fires and forgets.
+type Guard struct {
+	pr       *Protector
+	interval time.Duration
+	onEvent  func(GuardEvent)
+
+	mu    sync.Mutex
+	stats GuardStats
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// GuardStats aggregates what the guard has done so far.
+type GuardStats struct {
+	// Scrubs counts completed detection passes.
+	Scrubs int
+	// ErrorsDetected counts scrubs that flagged at least one layer.
+	ErrorsDetected int
+	// Recoveries counts recovery invocations.
+	Recoveries int
+	// FailedRecoveries counts recoveries that left approximate or failed
+	// layers.
+	FailedRecoveries int
+	// Downtime accumulates time spent detecting and recovering — the
+	// numerator of the availability model.
+	Downtime time.Duration
+}
+
+// GuardEvent describes one scrub cycle, delivered to the OnEvent hook.
+type GuardEvent struct {
+	// Detection is the scrub's report.
+	Detection *DetectionReport
+	// Recovery is nil when no errors were detected.
+	Recovery *RecoveryReport
+	// Elapsed is the cycle's detection+recovery duration.
+	Elapsed time.Duration
+	// Err carries an engine failure; the guard keeps running.
+	Err error
+}
+
+// GuardConfig configures NewGuard.
+type GuardConfig struct {
+	// Interval between detection passes.
+	Interval time.Duration
+	// OnEvent, when non-nil, receives every scrub cycle's outcome. It is
+	// called from the guard goroutine; keep it fast.
+	OnEvent func(GuardEvent)
+}
+
+// NewGuard starts the scrub loop. Call Stop to shut it down.
+func NewGuard(pr *Protector, cfg GuardConfig) (*Guard, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("core: guard interval must be positive, got %v", cfg.Interval)
+	}
+	g := &Guard{
+		pr:       pr,
+		interval: cfg.Interval,
+		onEvent:  cfg.OnEvent,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go g.run()
+	return g, nil
+}
+
+func (g *Guard) run() {
+	defer close(g.done)
+	ticker := time.NewTicker(g.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			g.scrub()
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// scrub performs one detect(+recover) cycle.
+func (g *Guard) scrub() {
+	start := time.Now()
+	det, err := g.pr.Detect()
+	ev := GuardEvent{Detection: det}
+	var rec *RecoveryReport
+	if err == nil && det.HasErrors() {
+		rec, err = g.pr.Recover(det)
+		ev.Recovery = rec
+	}
+	ev.Err = err
+	ev.Elapsed = time.Since(start)
+
+	g.mu.Lock()
+	g.stats.Scrubs++
+	g.stats.Downtime += ev.Elapsed
+	if det != nil && det.HasErrors() {
+		g.stats.ErrorsDetected++
+	}
+	if rec != nil {
+		g.stats.Recoveries++
+		if !rec.AllRecovered() {
+			g.stats.FailedRecoveries++
+		}
+	}
+	g.mu.Unlock()
+
+	if g.onEvent != nil {
+		g.onEvent(ev)
+	}
+}
+
+// ScrubNow runs one cycle synchronously (in the caller's goroutine),
+// independent of the schedule. Useful before answering a critical query.
+func (g *Guard) ScrubNow() {
+	g.scrub()
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (g *Guard) Stats() GuardStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Stop signals the guard goroutine and waits for it to exit. It is safe
+// to call once; subsequent calls panic (double close), so own the guard
+// from a single place.
+func (g *Guard) Stop() {
+	close(g.stop)
+	<-g.done
+}

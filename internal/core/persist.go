@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"milr/internal/crc2d"
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// Checkpoint persistence. The paper stores MILR's golden data outside
+// fault-prone DRAM: "They can be stored in error-resistant mediums, such
+// as the storage devices (SSD or HDD) or persistent memory" (§III). This
+// file implements that boundary: Save serializes every stored artifact —
+// options, checkpoints, partial checkpoints, dummy outputs, CRC codes,
+// bias sums — and LoadProtector reattaches them to a model after a
+// restart, *without* re-running the initialization phase.
+//
+// The format is versioned gob. Everything regenerable from the master
+// seed (golden inputs, detection inputs, dummy input rows, dummy
+// filters) is deliberately NOT stored, mirroring the paper's storage
+// accounting.
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+type persistedLayer struct {
+	Idx         int
+	Role        int
+	Partial     []float32
+	BiasSum     float64
+	FullSolve   bool
+	PartialMode bool
+	DummyOut    []float32
+	DummyShape  []int
+	DenseDummy  []float32
+	DenseShape  []int
+	CRCs        []persistedCode
+}
+
+type persistedCode struct {
+	Rows, Cols, Group int
+	RowCRC, ColCRC    []uint8
+}
+
+type persistedState struct {
+	Version    int
+	Opts       Options
+	NumLayers  int
+	Boundaries []int
+	Stored     map[int]persistedTensor
+	Layers     []persistedLayer
+}
+
+type persistedTensor struct {
+	Shape []int
+	Data  []float32
+}
+
+func toPersistedTensor(t *tensor.Tensor) persistedTensor {
+	return persistedTensor{Shape: t.Shape(), Data: append([]float32(nil), t.Data()...)}
+}
+
+func fromPersistedTensor(p persistedTensor) (*tensor.Tensor, error) {
+	return tensor.FromSlice(append([]float32(nil), p.Data...), p.Shape...)
+}
+
+// Save writes the protector's stored state (the paper's error-resistant
+// storage contents) to w.
+func (pr *Protector) Save(w io.Writer) error {
+	st := persistedState{
+		Version:    persistVersion,
+		Opts:       pr.opts,
+		NumLayers:  pr.model.NumLayers(),
+		Boundaries: append([]int(nil), pr.plan.boundarySet...),
+		Stored:     map[int]persistedTensor{},
+	}
+	for b, t := range pr.plan.stored {
+		st.Stored[b] = toPersistedTensor(t)
+	}
+	for _, lp := range pr.plan.layers {
+		pl := persistedLayer{
+			Idx:         lp.idx,
+			Role:        int(lp.role),
+			BiasSum:     lp.biasSum,
+			FullSolve:   lp.fullSolve,
+			PartialMode: lp.partialMode,
+		}
+		if lp.partial != nil {
+			pl.Partial = append([]float32(nil), lp.partial.Data()...)
+		}
+		if lp.dummyOut != nil {
+			pl.DummyOut = append([]float32(nil), lp.dummyOut.Data()...)
+			pl.DummyShape = lp.dummyOut.Shape()
+		}
+		if lp.denseDummyOut != nil {
+			pl.DenseDummy = append([]float32(nil), lp.denseDummyOut.Data()...)
+			pl.DenseShape = lp.denseDummyOut.Shape()
+		}
+		for _, c := range lp.crcsClean {
+			pl.CRCs = append(pl.CRCs, persistCode(c))
+		}
+		st.Layers = append(st.Layers, pl)
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: save protector: %w", err)
+	}
+	return nil
+}
+
+// LoadProtector reconstructs a protector for model from state previously
+// written by Save. The model must have the same architecture (layer
+// count, types, shapes); its *current* parameters are whatever survived
+// in fault-prone memory and may already be corrupted — that is the
+// point: detection and recovery work immediately after loading.
+func LoadProtector(r io.Reader, model *nn.Model) (*Protector, error) {
+	var st persistedState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: load protector: %w", err)
+	}
+	if st.Version != persistVersion {
+		return nil, fmt.Errorf("core: protector state version %d, want %d", st.Version, persistVersion)
+	}
+	if st.NumLayers != model.NumLayers() {
+		return nil, fmt.Errorf("core: state has %d layers, model has %d", st.NumLayers, model.NumLayers())
+	}
+	pl, err := buildPlan(model, st.Opts)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Protector{model: model, plan: pl, opts: st.Opts}
+	pl.boundarySet = append([]int(nil), st.Boundaries...)
+	for b, pt := range st.Stored {
+		t, err := fromPersistedTensor(pt)
+		if err != nil {
+			return nil, fmt.Errorf("core: load boundary %d: %w", b, err)
+		}
+		pl.stored[b] = t
+	}
+	if len(st.Layers) != len(pl.layers) {
+		return nil, fmt.Errorf("core: state has %d layer entries, plan has %d", len(st.Layers), len(pl.layers))
+	}
+	for i, sl := range st.Layers {
+		lp := pl.layers[i]
+		if sl.Idx != lp.idx || roleKind(sl.Role) != lp.role {
+			return nil, fmt.Errorf("core: layer %d role mismatch: state %d, model %s", i, sl.Role, lp.role)
+		}
+		lp.fullSolve = sl.FullSolve
+		lp.partialMode = sl.PartialMode
+		lp.biasSum = sl.BiasSum
+		lp.detectTag = tagDetect + uint64(lp.idx)
+		lp.denseTag = tagDenseDummy + uint64(lp.idx)
+		lp.dummyTag = tagConvDummy + uint64(lp.idx)
+		if sl.Partial != nil {
+			t, err := tensor.FromSlice(append([]float32(nil), sl.Partial...), len(sl.Partial))
+			if err != nil {
+				return nil, err
+			}
+			lp.partial = t
+		}
+		if sl.DummyOut != nil {
+			t, err := tensor.FromSlice(append([]float32(nil), sl.DummyOut...), sl.DummyShape...)
+			if err != nil {
+				return nil, err
+			}
+			lp.dummyOut = t
+		}
+		if sl.DenseDummy != nil {
+			t, err := tensor.FromSlice(append([]float32(nil), sl.DenseDummy...), sl.DenseShape...)
+			if err != nil {
+				return nil, err
+			}
+			lp.denseDummyOut = t
+		}
+		if len(sl.CRCs) > 0 {
+			codes := make([]*crc2d.Code, len(sl.CRCs))
+			for j, pc := range sl.CRCs {
+				code, err := restoreCode(pc)
+				if err != nil {
+					return nil, fmt.Errorf("core: load CRC %d of layer %d: %w", j, i, err)
+				}
+				codes[j] = code
+			}
+			lp.crcs = codes
+			lp.crcsClean = codes
+		}
+	}
+	return pr, nil
+}
+
+func persistCode(c *crc2d.Code) persistedCode {
+	rows, cols, group, rowCRC, colCRC := c.Export()
+	return persistedCode{Rows: rows, Cols: cols, Group: group,
+		RowCRC: append([]uint8(nil), rowCRC...), ColCRC: append([]uint8(nil), colCRC...)}
+}
+
+func restoreCode(pc persistedCode) (*crc2d.Code, error) {
+	return crc2d.Restore(pc.Rows, pc.Cols, pc.Group, pc.RowCRC, pc.ColCRC)
+}

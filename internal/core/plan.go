@@ -1,0 +1,312 @@
+// Package core implements MILR — Mathematically Induced Layer Recovery —
+// the contribution of the DSN 2021 paper this repository reproduces.
+//
+// MILR exploits the algebraic relationship between each CNN layer's
+// input x, parameters p and output y:
+//
+//	f(x, p) = y          (forward pass)
+//	f⁻¹(y, p) = x        (backward pass, when invertible)
+//	R(x, y) = p          (parameter solving)
+//
+// The engine has the paper's three phases (§III):
+//
+//   - Initialization: plan checkpoint placement, store partial
+//     checkpoints, full checkpoints at non-invertible boundaries, dummy
+//     data (seeded-PRNG regenerable, only outputs stored), bias sums and
+//     2-D CRC codes.
+//   - Error detection: regenerate each layer's pseudo-random input,
+//     forward it through that layer alone, and compare against the
+//     partial checkpoint.
+//   - Error recovery: move golden tensors from the nearest checkpoints to
+//     the erroneous layer with forward and inverse passes, then call the
+//     layer's parameter-recovery function R.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"milr/internal/crc2d"
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// Options configures a Protector.
+type Options struct {
+	// Seed is the master seed; every PRNG tensor (golden input, detection
+	// inputs, dummy rows/filters) derives from it, so only this one value
+	// plus the stored checkpoints need to survive.
+	Seed uint64
+	// DetectTol is the relative tolerance for comparing layer outputs
+	// against partial checkpoints. It must exceed the solver's float
+	// noise so recovered layers are not re-flagged forever, which also
+	// means errors with no "meaningful impact on the output of the
+	// layer" go undetected — a limitation the paper reports and we
+	// reproduce (§V-B).
+	DetectTol float64
+	// KeepTol is the relative tolerance below which a re-solved
+	// parameter is considered identical to the stored one and the
+	// stored value is kept, avoiding gratuitous float churn in correct
+	// weights.
+	KeepTol float64
+	// DenseBand is the bandwidth of the banded pseudo-random dummy input
+	// used for dense parameter solving. The paper used unstructured
+	// random dummy input and leaned on GPU lstsq; a banded system has
+	// identical storage cost (the dummy *outputs* are what is stored)
+	// but solves in O(N·band) per column on a CPU. See DESIGN.md.
+	DenseBand int
+	// CRCGroup is the 2-D CRC group size (the paper uses 4).
+	CRCGroup int
+	// MaxFullSolveTaps caps the F²Z size above which conv layers are
+	// forced into partial-recoverability mode regardless of solvability,
+	// reproducing the paper's cost policy for the large CIFAR network
+	// ("the convolution layers were required to use partial
+	// recoverability to keep cost low", §V-D). Zero means no cap.
+	MaxFullSolveTaps int
+	// RankTol is the relative tolerance of the initialization-time rank
+	// probe that decides whether a conv layer's golden-input system has
+	// full column rank (whole-filter recovery) or not (partial mode).
+	RankTol float64
+}
+
+// DefaultOptions returns the configuration used throughout the
+// evaluation.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Seed:      seed,
+		DetectTol: 1e-3,
+		KeepTol:   1e-4,
+		DenseBand: 32,
+		CRCGroup:  crc2d.DefaultGroup,
+		RankTol:   1e-6,
+	}
+}
+
+func (o Options) validate() error {
+	if o.DetectTol <= 0 || o.KeepTol <= 0 {
+		return fmt.Errorf("core: tolerances must be positive, got detect=%g keep=%g", o.DetectTol, o.KeepTol)
+	}
+	if o.DenseBand < 2 {
+		return fmt.Errorf("core: dense band must be ≥ 2, got %d", o.DenseBand)
+	}
+	if o.CRCGroup < 1 {
+		return fmt.Errorf("core: CRC group must be ≥ 1, got %d", o.CRCGroup)
+	}
+	if o.RankTol <= 0 {
+		return fmt.Errorf("core: rank tolerance must be positive, got %g", o.RankTol)
+	}
+	return nil
+}
+
+// roleKind classifies layers by their MILR treatment.
+type roleKind int
+
+const (
+	roleConv roleKind = iota + 1
+	roleDense
+	roleBias
+	roleAffine      // per-channel scale+shift (inference-mode batch norm)
+	rolePassthrough // invertible, parameter-free (activation, flatten, dropout)
+	roleOpaque      // non-invertible, parameter-free (pooling)
+)
+
+func (r roleKind) String() string {
+	switch r {
+	case roleConv:
+		return "conv"
+	case roleDense:
+		return "dense"
+	case roleBias:
+		return "bias"
+	case roleAffine:
+		return "affine"
+	case rolePassthrough:
+		return "passthrough"
+	case roleOpaque:
+		return "opaque"
+	default:
+		return fmt.Sprintf("roleKind(%d)", int(r))
+	}
+}
+
+// layerPlan is the per-layer MILR state.
+type layerPlan struct {
+	idx  int
+	role roleKind
+
+	// Detection state (parameterized layers only).
+	partial    *tensor.Tensor // stored partial checkpoint
+	detectTag  uint64         // PRNG tag of the detection input
+	biasSum    float64        // stored parameter sum (bias layers)
+	paramCount int
+
+	// Conv state.
+	conv        *nn.Conv2D
+	g2          int  // number of output positions per filter
+	fullSolve   bool // G² ≥ F²Z: whole filters solvable from golden pairs
+	partialMode bool // CRC-based localization + restricted solving
+	crcs        []*crc2d.Code
+	// crcsClean preserves the initialization-time codes so experiment
+	// harnesses can reset protection state after restoring clean weights
+	// between fault-injection runs.
+	crcsClean []*crc2d.Code
+	// invertNatural marks Y ≥ F²Z (backward pass possible without help).
+	invertNatural bool
+	// dummyFilters > 0 means PRNG dummy filters make the conv
+	// invertible; dummyOut holds their stored outputs on the golden
+	// input (G²·dummyFilters values).
+	dummyFilters int
+	dummyOut     *tensor.Tensor
+	dummyTag     uint64
+
+	// Dense state.
+	dense *nn.Dense
+	// denseDummyOut is C_dummy = A_dummy·B for the banded PRNG dummy
+	// input A_dummy (N×N), stored so any parameter column can be
+	// re-solved. This is the dominant MILR storage cost, matching the
+	// paper's Tables V/VII/IX.
+	denseDummyOut *tensor.Tensor
+	denseTag      uint64
+
+	// Bias state.
+	bias *nn.Bias
+
+	// Affine state.
+	affine *nn.Affine
+}
+
+// plan is the result of the planning half of initialization.
+type plan struct {
+	model  *nn.Model
+	opts   Options
+	layers []*layerPlan
+	// boundarySet lists checkpoint boundary positions in increasing
+	// order. Position b is the input of layer b; position NumLayers is
+	// the network output. Position 0 is always a boundary (regenerated
+	// from the seed, never stored).
+	boundarySet []int
+	// stored[b] is the golden tensor at boundary b (nil for b == 0,
+	// which is PRNG-regenerable).
+	stored map[int]*tensor.Tensor
+}
+
+// buildPlan classifies layers and chooses checkpoint boundaries,
+// implementing the paper's three checkpoint-elision opportunities (§III):
+// invertible layers need no input checkpoint; parameter-free prefixes
+// need none; non-invertible layers can be made invertible with dummy
+// data when that is cheaper than a checkpoint.
+func buildPlan(m *nn.Model, opts Options) (*plan, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	p := &plan{model: m, opts: opts, stored: make(map[int]*tensor.Tensor)}
+	boundaries := map[int]bool{0: true, m.NumLayers(): true}
+	for i, l := range m.Layers() {
+		lp := &layerPlan{idx: i}
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			lp.role = roleConv
+			lp.conv = v
+			lp.paramCount = v.ParamCount()
+			inShape := m.LayerInShape(i)
+			outShape, err := v.OutShape(inShape)
+			if err != nil {
+				return nil, fmt.Errorf("core: plan conv %q: %w", l.Name(), err)
+			}
+			lp.g2 = outShape[0] * outShape[1]
+			unknowns := v.FilterSize() * v.FilterSize() * v.InChannels()
+			// Parameter solving: G² equations per filter vs F²Z
+			// unknowns (§IV-B-b). When underdetermined — by shape, by
+			// the cost cap, or by the initialization-time rank probe of
+			// the golden input (see initialize) — use the paper's
+			// partial-recoverability alternative: 2-D CRC localization
+			// plus restricted solving, instead of storing dummy input.
+			lp.fullSolve = lp.g2 >= unknowns &&
+				(opts.MaxFullSolveTaps == 0 || unknowns <= opts.MaxFullSolveTaps)
+			lp.partialMode = !lp.fullSolve
+			// Backward pass: Y equations per sub-region vs F²Z unknowns
+			// (§IV-B-a). If underdetermined, weigh PRNG dummy filters
+			// (store their outputs) against a full input checkpoint and
+			// take the cheaper, per the paper.
+			lp.invertNatural = v.Filters() >= unknowns
+			if !lp.invertNatural {
+				need := unknowns - v.Filters()
+				dummyCost := need * lp.g2 * 4
+				ckptCost := inShape.NumElements() * 4
+				if dummyCost < ckptCost {
+					lp.dummyFilters = need
+				} else {
+					boundaries[i] = true
+				}
+			}
+		case *nn.Dense:
+			lp.role = roleDense
+			lp.dense = v
+			lp.paramCount = v.ParamCount()
+			// Backward pass needs P ≥ N (§IV-A-a). When P < N we place a
+			// checkpoint at the layer input: its cost (N values) is
+			// within a rounding error of the dummy-column alternative
+			// (N−P values) and keeps every inversion on the cheap path.
+			if v.Out() < v.In() {
+				boundaries[i] = true
+			}
+		case *nn.Bias:
+			lp.role = roleBias
+			lp.bias = v
+			lp.paramCount = v.ParamCount()
+		case *nn.Affine:
+			// An extension beyond the paper's four layer types:
+			// inference-mode batch normalization. Invertible (gains are
+			// non-zero in practice) and solvable per channel from a
+			// golden pair, so it needs neither checkpoint nor dummies.
+			lp.role = roleAffine
+			lp.affine = v
+			lp.paramCount = v.ParamCount()
+		case *nn.Pool2D:
+			// "A pooling layer changes the input in a non-invertible
+			// way. Hence, it requires the addition of a checkpoint that
+			// stores the input to the layer" (§IV-C).
+			lp.role = roleOpaque
+			boundaries[i] = true
+		default:
+			if _, ok := l.(nn.Invertible); ok {
+				lp.role = rolePassthrough
+			} else if _, ok := l.(nn.Parameterized); ok {
+				return nil, fmt.Errorf("core: parameterized layer %q of type %T is not supported", l.Name(), l)
+			} else {
+				// Unknown parameter-free, non-invertible layer: store a
+				// checkpoint, the paper's catch-all ("If data is lost on
+				// forward pass, then a checkpoint is stored").
+				lp.role = roleOpaque
+				boundaries[i] = true
+			}
+		}
+		p.layers = append(p.layers, lp)
+	}
+	for b := range boundaries {
+		p.boundarySet = append(p.boundarySet, b)
+	}
+	sort.Ints(p.boundarySet)
+	return p, nil
+}
+
+// precedingBoundary returns the greatest boundary position ≤ i.
+func (p *plan) precedingBoundary(i int) int {
+	best := 0
+	for _, b := range p.boundarySet {
+		if b <= i && b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// succeedingBoundary returns the smallest boundary position > i.
+func (p *plan) succeedingBoundary(i int) int {
+	for _, b := range p.boundarySet {
+		if b > i {
+			return b
+		}
+	}
+	return p.model.NumLayers()
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"milr/internal/linalg"
+	"milr/internal/nn"
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// PRNG tag spaces: every deterministic tensor MILR regenerates is keyed
+// by (master seed, tag), so only the master seed is stored.
+const (
+	tagGoldenInput uint64 = 0x0100_0000_0000_0000
+	tagDetect      uint64 = 0x0200_0000_0000_0000
+	tagDenseDummy  uint64 = 0x0300_0000_0000_0000
+	tagConvDummy   uint64 = 0x0400_0000_0000_0000
+)
+
+// Protector attaches MILR protection to a model: it owns the checkpoint
+// plan, all golden data, and the detection and recovery entry points.
+// The protected model's parameters stay live in ordinary (fault-prone)
+// memory; everything the Protector stores corresponds to what the paper
+// keeps in error-resistant storage (SSD/HDD/persistent memory, §III).
+type Protector struct {
+	model *nn.Model
+	plan  *plan
+	opts  Options
+}
+
+// NewProtector runs MILR's initialization phase on a model: it plans the
+// checkpoints, computes and stores the partial checkpoints, full
+// checkpoints, dummy outputs, CRC codes and bias sums. "The
+// initialization phase only runs once when neural network is started on
+// a system" (§III).
+func NewProtector(m *nn.Model, opts Options) (*Protector, error) {
+	pl, err := buildPlan(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	pr := &Protector{model: m, plan: pl, opts: opts}
+	if err := pr.initialize(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// Model returns the protected model.
+func (pr *Protector) Model() *nn.Model { return pr.model }
+
+// Options returns the active configuration.
+func (pr *Protector) Options() Options { return pr.opts }
+
+// initialize computes every stored artifact.
+func (pr *Protector) initialize() error {
+	m := pr.model
+	// 1. Propagate the golden input through the network in recovery mode,
+	//    storing full checkpoints at boundary positions and computing
+	//    conv dummy-filter outputs where the plan requires them.
+	cur := pr.goldenNetworkInput()
+	for i := 0; i < m.NumLayers(); i++ {
+		if pr.isStoredBoundary(i) {
+			pr.plan.stored[i] = cur.Clone()
+		}
+		lp := pr.plan.layers[i]
+		if lp.role == roleConv && lp.fullSolve {
+			// Rank probe: whole-filter recovery needs the golden-input
+			// im2col matrix to have full column rank. Inputs that came
+			// through earlier convolutions live in a subspace bounded by
+			// the composed receptive field and can fail this even with
+			// G² ≥ F²Z — these layers fall back to partial mode, which
+			// is precisely the paper's "partial recoverable" marking on
+			// interior conv layers.
+			a, err := lowerF64(lp.conv, cur)
+			if err != nil {
+				return fmt.Errorf("core: rank probe layer %d: %w", i, err)
+			}
+			qrp, err := linalg.FactorQRPivot(a, pr.opts.RankTol)
+			if err != nil {
+				return fmt.Errorf("core: rank probe layer %d: %w", i, err)
+			}
+			if qrp.Rank() < a.Cols {
+				lp.fullSolve = false
+				lp.partialMode = true
+			}
+		}
+		if lp.role == roleConv && lp.dummyFilters > 0 {
+			lp.dummyTag = tagConvDummy + uint64(i)
+			out, err := convDummyOutputs(lp.conv, cur, pr.opts.Seed, lp.dummyTag, lp.dummyFilters)
+			if err != nil {
+				return fmt.Errorf("core: init dummy filters for layer %d: %w", i, err)
+			}
+			lp.dummyOut = out
+		}
+		next, err := m.Layer(i).RecoveryForward(cur)
+		if err != nil {
+			return fmt.Errorf("core: init forward layer %d (%s): %w", i, m.Layer(i).Name(), err)
+		}
+		cur = next
+	}
+	pr.plan.stored[m.NumLayers()] = cur.Clone()
+
+	// 2. Per-layer detection data and solver data.
+	for i, lp := range pr.plan.layers {
+		switch lp.role {
+		case roleConv:
+			lp.detectTag = tagDetect + uint64(i)
+			partial, err := pr.convPartialCheckpoint(lp)
+			if err != nil {
+				return err
+			}
+			lp.partial = partial
+			if lp.partialMode {
+				codes, err := convEncodeCRC(lp.conv, pr.opts.CRCGroup)
+				if err != nil {
+					return err
+				}
+				lp.crcs = codes
+				lp.crcsClean = codes
+			}
+		case roleDense:
+			lp.detectTag = tagDetect + uint64(i)
+			partial, err := pr.densePartialCheckpoint(lp)
+			if err != nil {
+				return err
+			}
+			lp.partial = partial
+			lp.denseTag = tagDenseDummy + uint64(i)
+			dummyOut, err := denseDummyOutputs(lp.dense, pr.opts.Seed, lp.denseTag, pr.opts.DenseBand)
+			if err != nil {
+				return err
+			}
+			lp.denseDummyOut = dummyOut
+		case roleBias:
+			// "the sum of all the bias parameters is taken and stored"
+			// (§IV-E-c).
+			lp.biasSum = lp.bias.Params().Sum()
+		case roleAffine:
+			lp.detectTag = tagDetect + uint64(i)
+			partial, err := pr.affinePartialCheckpoint(lp)
+			if err != nil {
+				return err
+			}
+			lp.partial = partial
+		}
+	}
+	return nil
+}
+
+func (pr *Protector) isStoredBoundary(pos int) bool {
+	if pos == 0 {
+		return false // regenerated from the seed
+	}
+	for _, b := range pr.plan.boundarySet {
+		if b == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// goldenNetworkInput regenerates the network-level golden input from the
+// master seed.
+func (pr *Protector) goldenNetworkInput() *tensor.Tensor {
+	return prng.TensorFor(pr.opts.Seed, tagGoldenInput, pr.model.InShape()...)
+}
+
+// boundaryTensor returns the golden tensor at boundary position b.
+func (pr *Protector) boundaryTensor(b int) (*tensor.Tensor, error) {
+	if b == 0 {
+		return pr.goldenNetworkInput(), nil
+	}
+	t, ok := pr.plan.stored[b]
+	if !ok {
+		return nil, fmt.Errorf("core: position %d is not a stored boundary", b)
+	}
+	return t.Clone(), nil
+}
+
+// goldenInputOf propagates the golden tensor from the nearest preceding
+// boundary to layer i's input, using recovery-mode forward passes. If
+// layers in between hold erroneous parameters the result is corrupted
+// accordingly — exactly the degradation mechanism behind the paper's
+// high-RBER outliers (§V-B).
+func (pr *Protector) goldenInputOf(i int) (*tensor.Tensor, error) {
+	b := pr.plan.precedingBoundary(i)
+	cur, err := pr.boundaryTensor(b)
+	if err != nil {
+		return nil, err
+	}
+	return pr.model.ForwardRange(b, i, cur, true)
+}
+
+// goldenOutputOf inverts the golden tensor from the nearest succeeding
+// boundary back to layer i's output.
+func (pr *Protector) goldenOutputOf(i int) (*tensor.Tensor, error) {
+	b := pr.plan.succeedingBoundary(i)
+	cur, err := pr.boundaryTensor(b)
+	if err != nil {
+		return nil, err
+	}
+	for j := b - 1; j > i; j-- {
+		cur, err = pr.invertLayer(j, cur)
+		if err != nil {
+			return nil, fmt.Errorf("core: invert layer %d (%s): %w", j, pr.model.Layer(j).Name(), err)
+		}
+	}
+	return cur, nil
+}
+
+// invertLayer computes layer j's input from its output under recovery
+// semantics.
+func (pr *Protector) invertLayer(j int, out *tensor.Tensor) (*tensor.Tensor, error) {
+	lp := pr.plan.layers[j]
+	switch lp.role {
+	case roleConv:
+		return pr.invertConv(lp, out)
+	case roleDense:
+		return invertDense(lp.dense, out)
+	case roleOpaque:
+		return nil, fmt.Errorf("core: layer %d is not invertible (planner should have placed a checkpoint)", j)
+	default:
+		inv, ok := pr.model.Layer(j).(nn.Invertible)
+		if !ok {
+			return nil, fmt.Errorf("core: layer %d (%T) does not implement inversion", j, pr.model.Layer(j))
+		}
+		return inv.Invert(out)
+	}
+}
+
+// ResetCRC restores the initialization-time CRC codes. Experiment
+// harnesses call it together with restoring the clean weight snapshot,
+// because recovery refreshes the codes against the (float-rounded)
+// recovered parameters.
+func (pr *Protector) ResetCRC() {
+	for _, lp := range pr.plan.layers {
+		if lp.crcsClean != nil {
+			lp.crcs = lp.crcsClean
+		}
+	}
+}
+
+// relMismatch reports whether a and b differ beyond the relative
+// tolerance. NaN counts as a mismatch: bit flips in float32 exponents
+// routinely produce NaN weights, and a NaN-poisoned comparison must flag
+// the layer rather than silently comparing false.
+func relMismatch(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	mag := b
+	if mag < 0 {
+		mag = -mag
+	}
+	return d > tol*(1+mag)
+}

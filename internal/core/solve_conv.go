@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"milr/internal/crc2d"
+	"milr/internal/linalg"
+	"milr/internal/nn"
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// Convolution algebra (paper §IV-B). With the golden input lowered by
+// im2col into A (G² rows, one per output position; F²Z columns, one per
+// filter tap), the layer computes A·W = O where W is the (F²Z, Y) filter
+// matrix. Every filter shares the coefficient matrix A, so one
+// factorization serves all Y right-hand sides.
+//
+//   - Parameter solving (§IV-B-b): G² equations per filter; fully
+//     solvable when G² ≥ F²Z.
+//   - Partial recoverability: when G² < F²Z, 2-D CRC localizes the
+//     erroneous taps and a restricted system with only those unknowns is
+//     solved; beyond G² unknowns per filter, a least-squares minimum-norm
+//     solution is the best effort, as in the paper's whole-layer
+//     experiments (§V-B).
+//   - Backward pass (§IV-B-a): each output position yields Y equations in
+//     the F²Z unknowns of its input sub-region; dummy PRNG filters (whose
+//     outputs on the golden input are stored) top the system up when
+//     Y < F²Z and the planner judged dummies cheaper than a checkpoint.
+
+// lowerF64 converts the conv's im2col matrix of the golden input to
+// float64.
+func lowerF64(c *nn.Conv2D, in *tensor.Tensor) (*linalg.Matrix, error) {
+	cols, err := c.Lower(in)
+	if err != nil {
+		return nil, err
+	}
+	m := linalg.NewMatrix(cols.Dim(0), cols.Dim(1))
+	src := cols.Data()
+	for i := range src {
+		m.Data[i] = float64(src[i])
+	}
+	return m, nil
+}
+
+// convDummyOutputs applies `count` PRNG dummy filters to the golden input
+// and returns their outputs (G² rows × count columns), the only part of
+// the dummy data that must be stored.
+func convDummyOutputs(c *nn.Conv2D, goldenIn *tensor.Tensor, seed, tag uint64, count int) (*tensor.Tensor, error) {
+	dummyW := prng.TensorFor(seed, tag, c.FilterSize(), c.FilterSize(), c.InChannels(), count)
+	mat, err := dummyW.Reshape(c.FilterSize()*c.FilterSize()*c.InChannels(), count)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := c.Lower(goldenIn)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.MatMul(cols, mat)
+}
+
+// convEncodeCRC builds the paper's 2-D CRC codes: one (Z,Y) matrix per
+// filter-tap position (f1,f2), CRC-8 over groups of 4 along both axes
+// ("This is performed F² times to fully encode all parameters in the
+// matrix", §IV-B-c).
+func convEncodeCRC(c *nn.Conv2D, group int) ([]*crc2d.Code, error) {
+	f, z, y := c.FilterSize(), c.InChannels(), c.Filters()
+	w := c.Params().Data()
+	codes := make([]*crc2d.Code, f*f)
+	buf := make([]float32, z*y)
+	for pos := 0; pos < f*f; pos++ {
+		copy(buf, w[pos*z*y:(pos+1)*z*y])
+		code, err := crc2d.Encode(buf, z, y, group)
+		if err != nil {
+			return nil, fmt.Errorf("core: CRC encode conv %q pos %d: %w", c.Name(), pos, err)
+		}
+		codes[pos] = code
+	}
+	return codes, nil
+}
+
+// convLocateCRC recomputes the stored CRC codes against the current
+// parameters and returns, per filter, the sorted suspect tap indices
+// (tap = (f1·F+f2)·Z+z). "CRC codes that do not match their stored
+// values are matched up with the CRC codes along the other axis
+// identifying singular weights that are erroneous" (§IV-B-c).
+func convLocateCRC(lp *layerPlan) (map[int][]int, error) {
+	c := lp.conv
+	f, z, y := c.FilterSize(), c.InChannels(), c.Filters()
+	w := c.Params().Data()
+	suspects := make(map[int][]int)
+	buf := make([]float32, z*y)
+	for pos := 0; pos < f*f; pos++ {
+		copy(buf, w[pos*z*y:(pos+1)*z*y])
+		cells, err := lp.crcs[pos].Locate(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: CRC locate conv %q pos %d: %w", c.Name(), pos, err)
+		}
+		for _, cell := range cells {
+			tap := pos*z + cell.Row
+			suspects[cell.Col] = append(suspects[cell.Col], tap)
+		}
+	}
+	for k := range suspects {
+		sort.Ints(suspects[k])
+	}
+	return suspects, nil
+}
+
+// convRefreshCRC re-encodes the CRC codes after recovery so later scrubs
+// compare against the restored parameters.
+func convRefreshCRC(lp *layerPlan, group int) error {
+	codes, err := convEncodeCRC(lp.conv, group)
+	if err != nil {
+		return err
+	}
+	lp.crcs = codes
+	return nil
+}
+
+// solveConvFull re-solves whole filters from the golden input/output
+// pair. Only the filters listed are touched; one QR factorization of the
+// im2col matrix serves them all.
+func solveConvFull(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, filters []int, opts Options) error {
+	c := lp.conv
+	a, err := lowerF64(c, goldenIn)
+	if err != nil {
+		return err
+	}
+	taps := a.Cols
+	if a.Rows < taps {
+		return fmt.Errorf("core: conv %q full solve needs G²=%d ≥ F²Z=%d", c.Name(), a.Rows, taps)
+	}
+	qr, err := linalg.FactorQR(a)
+	if err != nil {
+		return fmt.Errorf("core: conv %q full solve: %w", c.Name(), err)
+	}
+	y := c.Filters()
+	od := goldenOut.Data()
+	if goldenOut.NumElements() != a.Rows*y {
+		return fmt.Errorf("core: conv %q golden output has %d values, want %d", c.Name(), goldenOut.NumElements(), a.Rows*y)
+	}
+	w := c.Params().Data()
+	rhs := make([]float64, a.Rows)
+	for _, k := range filters {
+		if k < 0 || k >= y {
+			return fmt.Errorf("core: conv %q filter %d out of range [0,%d)", c.Name(), k, y)
+		}
+		for g := 0; g < a.Rows; g++ {
+			rhs[g] = float64(od[g*y+k])
+		}
+		x, err := qr.Solve(rhs)
+		if err != nil {
+			return fmt.Errorf("core: conv %q solve filter %d: %w", c.Name(), k, err)
+		}
+		for t := 0; t < taps; t++ {
+			cur := float64(w[t*y+k])
+			if relMismatch(x[t], cur, opts.KeepTol) {
+				w[t*y+k] = float32(x[t])
+			}
+		}
+	}
+	return nil
+}
+
+// solveConvSelective solves only the CRC-localized suspect taps per
+// filter. When a filter's suspect count exceeds the G² available
+// equations, the minimum-norm least-squares solution is used — the
+// paper's partial-recoverability best effort.
+func solveConvSelective(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, suspects map[int][]int, opts Options) (exact, approximate int, err error) {
+	c := lp.conv
+	a, err := lowerF64(c, goldenIn)
+	if err != nil {
+		return 0, 0, err
+	}
+	y := c.Filters()
+	taps := a.Cols
+	od := goldenOut.Data()
+	if goldenOut.NumElements() != a.Rows*y {
+		return 0, 0, fmt.Errorf("core: conv %q golden output has %d values, want %d", c.Name(), goldenOut.NumElements(), a.Rows*y)
+	}
+	w := c.Params().Data()
+	// Deterministic filter order keeps runs reproducible.
+	keys := make([]int, 0, len(suspects))
+	for k := range suspects {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	rhs := make([]float64, a.Rows)
+	for _, k := range keys {
+		e := suspects[k]
+		if len(e) == 0 {
+			continue
+		}
+		inE := make(map[int]bool, len(e))
+		for _, t := range e {
+			if t < 0 || t >= taps {
+				return exact, approximate, fmt.Errorf("core: conv %q tap %d out of range [0,%d)", c.Name(), t, taps)
+			}
+			inE[t] = true
+		}
+		// Residual: golden output minus the contribution of taps assumed
+		// correct.
+		for g := 0; g < a.Rows; g++ {
+			acc := float64(od[g*y+k])
+			row := a.Row(g)
+			for t := 0; t < taps; t++ {
+				if !inE[t] {
+					acc -= row[t] * float64(w[t*y+k])
+				}
+			}
+			rhs[g] = acc
+		}
+		sub, err := a.SelectColumns(e)
+		if err != nil {
+			return exact, approximate, err
+		}
+		unique := len(e) <= a.Rows
+		x, err := linalg.LeastSquares(sub, rhs)
+		if err != nil {
+			// The restricted system can be rank-deficient when the
+			// golden input is structurally low-rank; take the paper's
+			// least-squares best effort.
+			x, err = linalg.RidgeSolve(sub, rhs)
+			if err != nil {
+				return exact, approximate, fmt.Errorf("core: conv %q selective solve filter %d: %w", c.Name(), k, err)
+			}
+			unique = false
+		}
+		for i, t := range e {
+			cur := float64(w[t*y+k])
+			if relMismatch(x[i], cur, opts.KeepTol) {
+				w[t*y+k] = float32(x[i])
+			}
+		}
+		if unique {
+			exact++
+		} else {
+			approximate++
+		}
+	}
+	return exact, approximate, nil
+}
+
+// invertConv computes the conv layer's input from its output: per output
+// position, the real filters (plus any PRNG dummy filters) give a system
+// of equations over the F²Z sub-region values; the per-position solutions
+// are folded back with overlap averaging (§IV-B-a).
+func (pr *Protector) invertConv(lp *layerPlan, out *tensor.Tensor) (*tensor.Tensor, error) {
+	c := lp.conv
+	if !lp.invertNatural && lp.dummyFilters == 0 {
+		return nil, fmt.Errorf("core: conv %q is not invertible (planner should have placed a checkpoint)", c.Name())
+	}
+	f, z, y := c.FilterSize(), c.InChannels(), c.Filters()
+	taps := f * f * z
+	rows := y + lp.dummyFilters
+	coeff := linalg.NewMatrix(rows, taps)
+	w := c.Params().Data()
+	for k := 0; k < y; k++ {
+		for t := 0; t < taps; t++ {
+			coeff.Set(k, t, float64(w[t*y+k]))
+		}
+	}
+	if lp.dummyFilters > 0 {
+		dummyW := prng.TensorFor(pr.opts.Seed, lp.dummyTag, f, f, z, lp.dummyFilters)
+		dd := dummyW.Data()
+		for a := 0; a < lp.dummyFilters; a++ {
+			for t := 0; t < taps; t++ {
+				coeff.Set(y+a, t, float64(dd[t*lp.dummyFilters+a]))
+			}
+		}
+	}
+	qr, err := linalg.FactorQR(coeff)
+	if err != nil {
+		return nil, fmt.Errorf("core: conv %q invert: %w", c.Name(), err)
+	}
+	outShape := out.Shape()
+	if len(outShape) != 3 || outShape[2] != y {
+		return nil, fmt.Errorf("core: conv %q invert got output shape %v", c.Name(), outShape)
+	}
+	g2 := outShape[0] * outShape[1]
+	od := out.Data()
+	var dummyOD []float32
+	if lp.dummyOut != nil {
+		dummyOD = lp.dummyOut.Data()
+		if lp.dummyOut.NumElements() != g2*lp.dummyFilters {
+			return nil, fmt.Errorf("core: conv %q dummy outputs have %d values, want %d", c.Name(), lp.dummyOut.NumElements(), g2*lp.dummyFilters)
+		}
+	}
+	subregions := tensor.New(g2, taps)
+	sd := subregions.Data()
+	rhs := make([]float64, rows)
+	for g := 0; g < g2; g++ {
+		for k := 0; k < y; k++ {
+			rhs[k] = float64(od[g*y+k])
+		}
+		for a := 0; a < lp.dummyFilters; a++ {
+			rhs[y+a] = float64(dummyOD[g*lp.dummyFilters+a])
+		}
+		x, err := qr.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("core: conv %q invert position %d: %w", c.Name(), g, err)
+		}
+		for t := 0; t < taps; t++ {
+			sd[g*taps+t] = float32(x[t])
+		}
+	}
+	inShape := c.InShape()
+	if inShape == nil || len(inShape) != 3 {
+		return nil, fmt.Errorf("core: conv %q has no build-time input shape", c.Name())
+	}
+	p := c.Pad()
+	padded, err := tensor.Col2Im(subregions, inShape[0]+2*p, inShape[1]+2*p, z, f, c.Stride())
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Crop2D(padded, p)
+}

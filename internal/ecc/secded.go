@@ -1,0 +1,175 @@
+// Package ecc implements the SECDED (39,32) Hamming code the paper
+// compares MILR against: "This (39,32) code requires 7 additional ECC
+// bits for each 32-bit word that coincides with a single parameter,
+// allowing error recovery for any parameter if a single bit of it is
+// corrupted. In the case of more than 1 bit error no correction occurs
+// and interrupts is not raised" (§V-A).
+//
+// The code is an extended Hamming code: 6 check bits cover the 38-bit
+// Hamming codeword (32 data + 6 check), and a 7th overall-parity bit
+// upgrades single-error-correction to double-error-detection.
+package ecc
+
+import "fmt"
+
+// Check holds the 7 SECDED check bits of one 32-bit word.
+type Check uint8
+
+// DecodeStatus reports what Decode did.
+type DecodeStatus int
+
+const (
+	// OK means the word matched its code; nothing was changed.
+	OK DecodeStatus = iota + 1
+	// Corrected means exactly one bit error was repaired.
+	Corrected
+	// DetectedUncorrectable means a double-bit error was detected; the
+	// word is left as is (the paper's ECC "no correction occurs and
+	// interrupts is not raised").
+	DetectedUncorrectable
+)
+
+// String implements fmt.Stringer.
+func (s DecodeStatus) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DetectedUncorrectable:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("DecodeStatus(%d)", int(s))
+	}
+}
+
+// dataPositions[i] is the 1-based position of data bit i inside the
+// 38-bit Hamming codeword (positions that are powers of two hold check
+// bits).
+var dataPositions = buildDataPositions()
+
+func buildDataPositions() [32]int {
+	var out [32]int
+	i := 0
+	for pos := 1; i < 32; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check-bit slot
+			continue
+		}
+		out[i] = pos
+		i++
+	}
+	return out
+}
+
+// syndromeOf computes the 6-bit Hamming syndrome of the data word with
+// all check bits zeroed.
+func syndromeOf(word uint32) uint8 {
+	var syn uint8
+	for i := 0; i < 32; i++ {
+		if word&(1<<uint(i)) != 0 {
+			syn ^= uint8(dataPositions[i])
+		}
+	}
+	return syn
+}
+
+func parity32(x uint32) uint8 {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint8(x & 1)
+}
+
+func parity8(x uint8) uint8 {
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// Encode computes the SECDED check bits for a 32-bit word: 6 Hamming
+// check bits plus one overall parity bit.
+func Encode(word uint32) Check {
+	syn := syndromeOf(word)
+	overall := parity32(word) ^ parity8(syn)
+	return Check(syn | overall<<6)
+}
+
+// Decode validates word against its stored check bits. It returns the
+// (possibly corrected) word and the decode status. Triple and larger
+// errors alias to OK or Corrected, exactly like real SECDED — this
+// mis-correction behaviour is part of what the paper's plaintext-space
+// argument exploits.
+func Decode(word uint32, check Check) (uint32, DecodeStatus) {
+	syn := syndromeOf(word) ^ (uint8(check) & 0x3f)
+	overall := parity32(word) ^ parity8(uint8(check)&0x3f) ^ (uint8(check) >> 6)
+	switch {
+	case syn == 0 && overall == 0:
+		return word, OK
+	case overall == 1:
+		// Odd number of errors; assume one and correct it.
+		if syn == 0 {
+			// The overall parity bit itself flipped; data is intact.
+			return word, Corrected
+		}
+		for i, pos := range dataPositions {
+			if int(syn) == pos {
+				return word ^ (1 << uint(i)), Corrected
+			}
+		}
+		// Syndrome points at a check-bit position: data is intact.
+		return word, Corrected
+	default:
+		// syn != 0 && overall == 0: classic double-bit error signature.
+		return word, DetectedUncorrectable
+	}
+}
+
+// Protector stores SECDED check bits for a slice of 32-bit words and can
+// scrub them later, mimicking ECC DRAM over a weight buffer.
+type Protector struct {
+	checks []Check
+}
+
+// Stats summarizes a scrub pass.
+type Stats struct {
+	Words         int
+	Corrected     int
+	Uncorrectable int
+}
+
+// NewProtector encodes every word.
+func NewProtector(words []uint32) *Protector {
+	p := &Protector{checks: make([]Check, len(words))}
+	for i, w := range words {
+		p.checks[i] = Encode(w)
+	}
+	return p
+}
+
+// OverheadBytes returns the storage cost of the check bits: 7 bits per
+// 32-bit word, the figure the paper's storage tables use.
+func (p *Protector) OverheadBytes() int {
+	return (len(p.checks)*7 + 7) / 8
+}
+
+// Scrub decodes every word in place, correcting single-bit errors.
+func (p *Protector) Scrub(words []uint32) (Stats, error) {
+	if len(words) != len(p.checks) {
+		return Stats{}, fmt.Errorf("ecc: scrub length %d, protector holds %d", len(words), len(p.checks))
+	}
+	st := Stats{Words: len(words)}
+	for i := range words {
+		fixed, status := Decode(words[i], p.checks[i])
+		switch status {
+		case Corrected:
+			words[i] = fixed
+			st.Corrected++
+		case DetectedUncorrectable:
+			st.Uncorrectable++
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,118 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"milr/internal/prng"
+)
+
+func TestCleanWordDecodesOK(t *testing.T) {
+	err := quick.Check(func(w uint32) bool {
+		got, status := Decode(w, Encode(w))
+		return got == w && status == OK
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Every single-bit data error must be corrected — the defining SECDED
+// property.
+func TestAllSingleBitErrorsCorrected(t *testing.T) {
+	words := []uint32{0, 0xffffffff, 0xdeadbeef, 0x12345678, 1}
+	for _, w := range words {
+		check := Encode(w)
+		for bit := 0; bit < 32; bit++ {
+			corrupted := w ^ (1 << uint(bit))
+			got, status := Decode(corrupted, check)
+			if status != Corrected {
+				t.Fatalf("word %#x bit %d: status %v", w, bit, status)
+			}
+			if got != w {
+				t.Fatalf("word %#x bit %d: decoded %#x", w, bit, got)
+			}
+		}
+	}
+}
+
+// Every double-bit data error must be detected but not corrected.
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	s := prng.New(1)
+	for trial := 0; trial < 500; trial++ {
+		w := uint32(s.Uint64())
+		check := Encode(w)
+		b1 := s.Intn(32)
+		b2 := s.Intn(32)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := w ^ (1 << uint(b1)) ^ (1 << uint(b2))
+		_, status := Decode(corrupted, check)
+		if status != DetectedUncorrectable {
+			t.Fatalf("word %#x bits %d,%d: status %v", w, b1, b2, status)
+		}
+	}
+}
+
+// Whole-word inversion (the paper's plaintext-space whole-weight error)
+// is a 32-bit error: SECDED must NOT recover it. It may mis-correct or
+// report uncorrectable, but never restore the original word.
+func TestWholeWordErrorNotRecovered(t *testing.T) {
+	s := prng.New(2)
+	for trial := 0; trial < 200; trial++ {
+		w := uint32(s.Uint64())
+		check := Encode(w)
+		got, status := Decode(^w, check)
+		if status != DetectedUncorrectable && got == w {
+			t.Fatalf("word %#x: 32-bit error silently corrected", w)
+		}
+	}
+}
+
+func TestProtectorScrub(t *testing.T) {
+	s := prng.New(3)
+	words := make([]uint32, 100)
+	for i := range words {
+		words[i] = uint32(s.Uint64())
+	}
+	orig := append([]uint32(nil), words...)
+	p := NewProtector(words)
+	// Single-bit errors in 10 words, double-bit in 5.
+	for i := 0; i < 10; i++ {
+		words[i] ^= 1 << uint(s.Intn(32))
+	}
+	for i := 10; i < 15; i++ {
+		b1 := s.Intn(32)
+		b2 := (b1 + 1 + s.Intn(31)) % 32
+		words[i] ^= (1 << uint(b1)) | (1 << uint(b2))
+	}
+	stats, err := p.Scrub(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Corrected != 10 {
+		t.Errorf("corrected %d, want 10", stats.Corrected)
+	}
+	if stats.Uncorrectable != 5 {
+		t.Errorf("uncorrectable %d, want 5", stats.Uncorrectable)
+	}
+	for i := 0; i < 10; i++ {
+		if words[i] != orig[i] {
+			t.Errorf("word %d not restored", i)
+		}
+	}
+	if _, err := p.Scrub(words[:50]); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestOverheadBytesMatchesPaper(t *testing.T) {
+	// 7 bits per 32-bit word: for the MNIST network's 1,669,290 words the
+	// paper reports 1.46 MB.
+	p := &Protector{checks: make([]Check, 1669290)}
+	mb := float64(p.OverheadBytes()) / 1e6
+	if mb < 1.40 || mb > 1.50 {
+		t.Errorf("MNIST ECC overhead %.3f MB, paper says 1.46 MB", mb)
+	}
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"math"
+
+	"milr/internal/nn"
+)
+
+// Spatially correlated fault models. The paper's RBER experiments assume
+// independent bit flips, but real DRAM failures cluster: row/column
+// failures take out runs of adjacent words, and the paper's own
+// plaintext-space argument is about clustering (an AES block). These
+// injectors extend the evaluation to burst patterns.
+
+// Burst corrupts `length` consecutive weights starting at a random
+// offset inside one randomly chosen layer, flipping every bit of each
+// (the plaintext image of a corrupted DRAM row under memory encryption).
+// It returns the layer index and the number of corrupted weights.
+func (in *Injector) Burst(m *nn.Model, length int) (layer, corrupted int) {
+	params := paramTensors(m)
+	if len(params) == 0 || length <= 0 {
+		return -1, 0
+	}
+	// Choose a layer weighted by parameter count so bursts land
+	// uniformly over the weight address space.
+	total := 0
+	for _, p := range params {
+		total += p.ParamCount()
+	}
+	target := in.stream.Intn(total)
+	var chosen nn.Parameterized
+	chosenIdx := -1
+	for i, p := range params {
+		if target < p.ParamCount() {
+			chosen = p
+			chosenIdx = i
+			break
+		}
+		target -= p.ParamCount()
+	}
+	data := chosen.Params().Data()
+	start := in.stream.Intn(len(data))
+	for i := 0; i < length && start+i < len(data); i++ {
+		data[start+i] = math.Float32frombits(^math.Float32bits(data[start+i]))
+		corrupted++
+	}
+	// Map back to the model layer index for reporting.
+	layer = -1
+	idx := 0
+	for li, l := range m.Layers() {
+		if _, ok := l.(nn.Parameterized); ok {
+			if idx == chosenIdx {
+				layer = li
+				break
+			}
+			idx++
+		}
+	}
+	return layer, corrupted
+}
+
+// StuckAt forces `count` randomly chosen weights to a stuck value (for
+// stuck-at-0 pass 0; resistance-drift models in PCM motivate non-zero
+// stuck values, §I). Returns the number of weights changed.
+func (in *Injector) StuckAt(m *nn.Model, count int, value float32) int {
+	params := paramTensors(m)
+	total := 0
+	for _, p := range params {
+		total += p.ParamCount()
+	}
+	if total == 0 || count <= 0 {
+		return 0
+	}
+	if count > total {
+		count = total
+	}
+	changed := 0
+	seen := make(map[int]struct{}, count)
+	for len(seen) < count {
+		idx := in.stream.Intn(total)
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		seen[idx] = struct{}{}
+		rem := idx
+		for _, p := range params {
+			if rem < p.ParamCount() {
+				d := p.Params().Data()
+				if d[rem] != value {
+					d[rem] = value
+					changed++
+				}
+				break
+			}
+			rem -= p.ParamCount()
+		}
+	}
+	return changed
+}

@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"milr/internal/nn"
+)
+
+func tinyModel(t *testing.T) *nn.Model {
+	t.Helper()
+	m, err := nn.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(1)
+	return m
+}
+
+func countChanged(a, b *nn.Model) int {
+	sa, sb := a.Snapshot(), b.Snapshot()
+	n := 0
+	for k := range sa {
+		da, db := sa[k].Data(), sb[k].Data()
+		for i := range da {
+			if math.Float32bits(da[i]) != math.Float32bits(db[i]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestBitFlipsCountNearExpectation(t *testing.T) {
+	m := tinyModel(t)
+	bits := m.ParamCount() * 32
+	rate := 0.001
+	var total int
+	const trials = 20
+	inj := New(1)
+	for i := 0; i < trials; i++ {
+		total += inj.BitFlips(m, rate)
+	}
+	mean := float64(total) / trials
+	want := float64(bits) * rate
+	// Binomial stddev ≈ sqrt(want); allow 5 sigma over 20 trials.
+	if math.Abs(mean-want) > 5*math.Sqrt(want/trials) {
+		t.Errorf("mean flips %v, want ≈%v", mean, want)
+	}
+}
+
+func TestBitFlipsZeroAndOneRates(t *testing.T) {
+	m := tinyModel(t)
+	inj := New(2)
+	if n := inj.BitFlips(m, 0); n != 0 {
+		t.Errorf("rate 0 flipped %d bits", n)
+	}
+	m2 := tinyModel(t)
+	if n := New(3).BitFlips(m2, 1); n != m2.ParamCount()*32 {
+		t.Errorf("rate 1 flipped %d bits, want all %d", n, m2.ParamCount()*32)
+	}
+}
+
+func TestWholeWeightsFlipAllBits(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	inj := New(4)
+	n := inj.WholeWeights(m, 0.02)
+	if n == 0 {
+		t.Skip("no weights hit")
+	}
+	if got := countChanged(m, ref); got != n {
+		t.Errorf("%d weights changed, injector reported %d", got, n)
+	}
+	// Every changed weight must be the full inversion of the original.
+	sa, sb := m.Snapshot(), ref.Snapshot()
+	for k := range sa {
+		da, db := sa[k].Data(), sb[k].Data()
+		for i := range da {
+			ba, bb := math.Float32bits(da[i]), math.Float32bits(db[i])
+			if ba != bb && ba != ^bb {
+				t.Fatalf("weight changed but not fully inverted: %#x vs %#x", ba, bb)
+			}
+		}
+	}
+}
+
+func TestOverwriteLayerChangesEveryValue(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	var target nn.Parameterized
+	var idx int
+	for i, l := range m.Layers() {
+		if p, ok := l.(nn.Parameterized); ok {
+			target, idx = p, i
+			break
+		}
+	}
+	New(5).OverwriteLayer(target)
+	sa, sb := m.Snapshot(), ref.Snapshot()
+	da, db := sa[idx].Data(), sb[idx].Data()
+	for i := range da {
+		if da[i] == db[i] {
+			t.Fatalf("weight %d unchanged after whole-layer overwrite", i)
+		}
+	}
+	// Other layers untouched.
+	for k := range sa {
+		if k == idx {
+			continue
+		}
+		if !sa[k].Equalish(sb[k], 0) {
+			t.Fatalf("layer %d modified by OverwriteLayer of layer %d", k, idx)
+		}
+	}
+}
+
+func TestFlipExactBits(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	const n = 37
+	if got := New(6).FlipExactBits(m, n); got != n {
+		t.Fatalf("flipped %d, want %d", got, n)
+	}
+	changed := countChanged(m, ref)
+	// Distinct bits, but two flips can land in one weight; changed
+	// weights ≤ n and ≥ n/32.
+	if changed == 0 || changed > n {
+		t.Errorf("changed weights %d outside (0,%d]", changed, n)
+	}
+}
+
+func TestCiphertextFlipsBlowUp(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	inj := New(7)
+	stats, err := inj.CiphertextBitFlips(m, 1e-4, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CiphertextFlips == 0 {
+		t.Skip("no flips at this seed")
+	}
+	changed := countChanged(m, ref)
+	if changed != stats.CorruptedWeights {
+		t.Errorf("changed %d weights, stats say %d", changed, stats.CorruptedWeights)
+	}
+	// The plaintext-space blow-up: each ciphertext flip corrupts ≈4
+	// weights (one 16-byte block). Expect strictly more corrupted
+	// weights than flips.
+	if stats.CorruptedWeights < stats.CiphertextFlips {
+		t.Errorf("corrupted %d weights from %d flips; expected amplification",
+			stats.CorruptedWeights, stats.CiphertextFlips)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	m1, m2 := tinyModel(t), tinyModel(t)
+	n1 := New(42).BitFlips(m1, 1e-3)
+	n2 := New(42).BitFlips(m2, 1e-3)
+	if n1 != n2 {
+		t.Fatalf("flip counts differ: %d vs %d", n1, n2)
+	}
+	s1, s2 := m1.Snapshot(), m2.Snapshot()
+	for k := range s1 {
+		if !s1[k].Equalish(s2[k], 0) {
+			t.Fatal("identically seeded injections differ")
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"milr/internal/prng"
+)
+
+func randMatrix(s *prng.Stream, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = s.Float64()*2 - 1
+	}
+	return m
+}
+
+func maxAbsVecDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Error("At wrong")
+	}
+	m.Set(1, 0, 9)
+	if m.Row(1)[0] != 9 {
+		t.Error("Set/Row wrong")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("want ragged error")
+	}
+	tr := m.T()
+	if tr.At(0, 1) != 9 {
+		t.Error("transpose wrong")
+	}
+	if m.MaxAbs() != 9 {
+		t.Errorf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestMulAndMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Errorf("Mul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v", y)
+	}
+}
+
+func TestSelectColumnsAndRows(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	c, err := a.SelectColumns([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != 3 || c.At(1, 1) != 4 {
+		t.Errorf("SelectColumns wrong: %+v", c)
+	}
+	r, err := a.SelectRows([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0, 1) != 5 {
+		t.Error("SelectRows wrong")
+	}
+	if _, err := a.SelectColumns([]int{5}); err == nil {
+		t.Error("want out-of-range error")
+	}
+}
+
+// Property: A·Solve(A, b) ≈ b for random well-conditioned systems.
+func TestLUSolveProperty(t *testing.T) {
+	s := prng.New(42)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + s.Intn(30)
+		a := randMatrix(s, n, n)
+		// Diagonal boost keeps the random system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += 3
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = s.Float64()*4 - 2
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveSquare(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := maxAbsVecDiff(got, want); d > 1e-9 {
+			t.Fatalf("trial %d: solution off by %g", trial, d)
+		}
+	}
+}
+
+func TestLUSingularDetection(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := FactorLU(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLUSolveMatrixMultipleRHS(t *testing.T) {
+	s := prng.New(7)
+	a := randMatrix(s, 5, 5)
+	for i := 0; i < 5; i++ {
+		a.Data[i*5+i] += 4
+	}
+	x := randMatrix(s, 5, 3)
+	b, _ := a.Mul(x)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.SolveMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data {
+		if d := math.Abs(got.Data[i] - x.Data[i]); d > 1e-9 {
+			t.Fatalf("element %d off by %g", i, d)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	s := prng.New(11)
+	a := randMatrix(s, 6, 6)
+	for i := 0; i < 6; i++ {
+		a.Data[i*6+i] += 3
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := math.Abs(prod.At(i, j) - want); d > 1e-9 {
+				t.Fatalf("A·A⁻¹[%d,%d] off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+// Property: QR least squares recovers the exact solution of consistent
+// overdetermined systems.
+func TestQRConsistentOverdetermined(t *testing.T) {
+	s := prng.New(13)
+	for trial := 0; trial < 20; trial++ {
+		m := 10 + s.Intn(30)
+		n := 2 + s.Intn(8)
+		a := randMatrix(s, m, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = s.Float64()*2 - 1
+		}
+		b, _ := a.MulVec(want)
+		got, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := maxAbsVecDiff(got, want); d > 1e-8 {
+			t.Fatalf("trial %d: off by %g", trial, d)
+		}
+	}
+}
+
+// Least squares of an inconsistent system must satisfy the normal
+// equations: Aᵀ(Ax − b) = 0.
+func TestQRResidualOrthogonality(t *testing.T) {
+	s := prng.New(17)
+	a := randMatrix(s, 20, 4)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = s.Float64()*2 - 1
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	resid := make([]float64, 20)
+	for i := range resid {
+		resid[i] = ax[i] - b[i]
+	}
+	at := a.T()
+	g, _ := at.MulVec(resid)
+	for i, v := range g {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("normal equation %d violated: %g", i, v)
+		}
+	}
+}
+
+// Underdetermined systems return the minimum-norm solution: it must be
+// consistent and orthogonal to the null space (x ∈ row space of A).
+func TestMinNormUnderdetermined(t *testing.T) {
+	s := prng.New(19)
+	a := randMatrix(s, 3, 8)
+	b := make([]float64, 3)
+	for i := range b {
+		b[i] = s.Float64()*2 - 1
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	if d := maxAbsVecDiff(ax, b); d > 1e-6 {
+		t.Fatalf("not consistent: off by %g", d)
+	}
+	// Minimum norm: x should equal Aᵀy for some y, i.e. adding any null
+	// vector increases the norm. Verify ‖x‖ ≤ ‖x + n‖ for a random null
+	// vector n (projected).
+	var normX float64
+	for _, v := range x {
+		normX += v * v
+	}
+	// Build a null vector: random vector minus its row-space projection
+	// via least squares.
+	r := make([]float64, 8)
+	for i := range r {
+		r[i] = s.Float64()*2 - 1
+	}
+	ar, _ := a.MulVec(r)
+	proj, err := LeastSquares(a, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullv := make([]float64, 8)
+	var dot float64
+	for i := range nullv {
+		nullv[i] = r[i] - proj[i]
+		dot += nullv[i] * x[i]
+	}
+	if math.Abs(dot) > 1e-6 {
+		t.Fatalf("min-norm solution not orthogonal to null space: %g", dot)
+	}
+	_ = normX
+}
+
+func TestLeastSquaresMatrixAgreesWithVector(t *testing.T) {
+	s := prng.New(23)
+	a := randMatrix(s, 12, 5)
+	b := randMatrix(s, 12, 3)
+	xm, err := LeastSquaresMatrix(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		col := make([]float64, 12)
+		for i := range col {
+			col[i] = b.At(i, j)
+		}
+		x, err := LeastSquares(a, col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if d := math.Abs(x[i] - xm.At(i, j)); d > 1e-9 {
+				t.Fatalf("column %d row %d off by %g", j, i, d)
+			}
+		}
+	}
+}
+
+func TestQRPivotRankDetection(t *testing.T) {
+	s := prng.New(29)
+	for trial := 0; trial < 10; trial++ {
+		m := 20 + s.Intn(20)
+		r := 1 + s.Intn(6)
+		n := r + 2 + s.Intn(6)
+		// A = B(m,r)·C(r,n) has rank exactly r.
+		b := randMatrix(s, m, r)
+		c := randMatrix(s, r, n)
+		a, _ := b.Mul(c)
+		qrp, err := FactorQRPivot(a, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qrp.Rank() != r {
+			t.Fatalf("trial %d: rank %d, want %d", trial, qrp.Rank(), r)
+		}
+	}
+}
+
+func TestQRPivotSolveFullRank(t *testing.T) {
+	s := prng.New(31)
+	a := randMatrix(s, 15, 6)
+	want := make([]float64, 6)
+	for i := range want {
+		want[i] = s.Float64()*2 - 1
+	}
+	b, _ := a.MulVec(want)
+	qrp, err := FactorQRPivot(a, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qrp.Rank() != 6 {
+		t.Fatalf("rank %d, want 6", qrp.Rank())
+	}
+	got, err := qrp.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsVecDiff(got, want); d > 1e-8 {
+		t.Fatalf("off by %g", d)
+	}
+}
+
+func TestRidgeSolveConsistent(t *testing.T) {
+	s := prng.New(37)
+	a := randMatrix(s, 10, 4)
+	want := []float64{1, -2, 3, 0.5}
+	b, _ := a.MulVec(want)
+	got, err := RidgeSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsVecDiff(got, want); d > 1e-4 {
+		t.Fatalf("off by %g", d)
+	}
+}
+
+func TestZeroMatrixRankZero(t *testing.T) {
+	a := NewMatrix(5, 3)
+	qrp, err := FactorQRPivot(a, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qrp.Rank() != 0 {
+		t.Errorf("rank %d, want 0", qrp.Rank())
+	}
+}
+
+// Property: transpose is an involution and (AB)ᵀ = BᵀAᵀ.
+func TestTransposeProductProperty(t *testing.T) {
+	s := prng.New(41)
+	err := quick.Check(func(seed uint64) bool {
+		st := prng.New(seed)
+		m, k, n := 1+st.Intn(6), 1+st.Intn(6), 1+st.Intn(6)
+		a := randMatrix(s, m, k)
+		b := randMatrix(s, k, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		lhs := ab.T()
+		rhs, err := b.T().Mul(a.T())
+		if err != nil {
+			return false
+		}
+		for i := range lhs.Data {
+			if math.Abs(lhs.Data[i]-rhs.Data[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min‖A·x − b‖₂ for a single right-hand side.
+//
+//   - Overdetermined or square systems (Rows ≥ Cols) use Householder QR,
+//     the numerically robust path for the overdetermined systems MILR's
+//     conv parameter solver produces (G² equations, F²Z unknowns).
+//   - Underdetermined systems (Rows < Cols) return the minimum-norm
+//     solution x = Aᵀ(AAᵀ)⁻¹b — the paper's lstsq fallback for
+//     whole-layer corruption of partial-recoverable conv layers (§V-B):
+//     "they attempt to find a least-square solution ... as close as
+//     possible to the actual solution".
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: lstsq rhs length %d, want %d", len(b), a.Rows)
+	}
+	if a.Rows >= a.Cols {
+		qr, err := FactorQR(a)
+		if err != nil {
+			return nil, err
+		}
+		return qr.Solve(b)
+	}
+	return minNorm(a, b)
+}
+
+// LeastSquaresMatrix solves min‖A·X − B‖ column-by-column, reusing the
+// factorization across right-hand sides.
+func LeastSquaresMatrix(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("linalg: lstsq rhs has %d rows, want %d", b.Rows, a.Rows)
+	}
+	out := NewMatrix(a.Cols, b.Cols)
+	if a.Rows >= a.Cols {
+		qr, err := FactorQR(a)
+		if err != nil {
+			return nil, err
+		}
+		col := make([]float64, b.Rows)
+		for j := 0; j < b.Cols; j++ {
+			for i := 0; i < b.Rows; i++ {
+				col[i] = b.At(i, j)
+			}
+			x, err := qr.Solve(col)
+			if err != nil {
+				return nil, err
+			}
+			for i := range x {
+				out.Set(i, j, x[i])
+			}
+		}
+		return out, nil
+	}
+	// Underdetermined: factor AAᵀ once.
+	at := a.T()
+	aat, err := a.Mul(at)
+	if err != nil {
+		return nil, err
+	}
+	regularize(aat)
+	f, err := FactorLU(aat)
+	if err != nil {
+		return nil, err
+	}
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		y, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		x, err := at.MulVec(y)
+		if err != nil {
+			return nil, err
+		}
+		for i := range x {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+func minNorm(a *Matrix, b []float64) ([]float64, error) {
+	at := a.T()
+	aat, err := a.Mul(at)
+	if err != nil {
+		return nil, err
+	}
+	regularize(aat)
+	y, err := SolveSquare(aat, b)
+	if err != nil {
+		return nil, err
+	}
+	return at.MulVec(y)
+}
+
+// regularize adds a tiny ridge to the diagonal so severely rank-deficient
+// AAᵀ systems (e.g. a conv sub-region whose padding zeroes entire taps)
+// still produce the best-effort solution the paper describes instead of
+// failing outright.
+func regularize(m *Matrix) {
+	eps := m.MaxAbs() * 1e-12
+	if eps == 0 {
+		eps = 1e-12
+	}
+	for i := 0; i < m.Rows && i < m.Cols; i++ {
+		m.Data[i*m.Cols+i] += eps
+	}
+}
+
+// QR is a Householder QR factorization A = Q·R for Rows ≥ Cols.
+type QR struct {
+	qr   *Matrix   // Householder vectors below the diagonal, R on/above.
+	rdia []float64 // Diagonal of R.
+}
+
+// FactorQR computes the factorization of an m×n matrix with m ≥ n.
+func FactorQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: QR requires rows ≥ cols, got %dx%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	tol := a.MaxAbs() * float64(m) * 1e-14
+	if tol == 0 {
+		tol = 1e-300
+	}
+	for k := 0; k < n; k++ {
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, qr.At(i, k))
+		}
+		if norm < tol {
+			return nil, fmt.Errorf("column %d below tolerance %.3e: %w", k, tol, ErrSingular)
+		}
+		if qr.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/norm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -norm
+	}
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// Solve returns the least-squares solution of A·x = b.
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	m, n := q.qr.Rows, q.qr.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Householder reflections: y ← Qᵀ·y.
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := k; i < m; i++ {
+			s += q.qr.At(i, k) * y[i]
+		}
+		s = -s / q.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * q.qr.At(i, k)
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		acc := y[i]
+		for j := i + 1; j < n; j++ {
+			acc -= q.qr.At(i, j) * x[j]
+		}
+		x[i] = acc / q.rdia[i]
+	}
+	return x, nil
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"testing"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+func TestAffineForwardInvert(t *testing.T) {
+	a, err := NewAffine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(a.Gain(), []float32{2, -3})
+	copy(a.Shift(), []float32{1, 5})
+	in := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	out, err := a.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2*1 + 1, -3*2 + 5, 2*3 + 1, -3*4 + 5}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data()[i], v)
+		}
+	}
+	back, err := a.Invert(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equalish(in, 1e-6) {
+		t.Error("invert failed")
+	}
+	a.Gain()[0] = 0
+	if _, err := a.Invert(out); err == nil {
+		t.Error("zero gain must not invert")
+	}
+}
+
+func TestAffineIdentityInit(t *testing.T) {
+	a, err := NewAffine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := prng.New(1).Tensor(4, 4, 3)
+	out, err := a.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equalish(in, 0) {
+		t.Error("fresh affine is not identity")
+	}
+}
+
+func TestAffineValidation(t *testing.T) {
+	if _, err := NewAffine(0); err == nil {
+		t.Error("zero width accepted")
+	}
+	a, _ := NewAffine(3)
+	if _, err := a.OutShape(tensor.Shape{4}); err == nil {
+		t.Error("rank-1 input accepted")
+	}
+	if _, err := a.OutShape(tensor.Shape{2, 4}); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+func TestAffineGradients(t *testing.T) {
+	a, err := NewAffine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prng.New(2)
+	for i := range a.Params().Data() {
+		a.Params().Data()[i] = s.Uniform(0.5, 1.5)
+	}
+	in := s.Tensor(4, 4, 3)
+	checkParamGrad(t, a, in, 1e-2)
+	checkInputGrad(t, a, in, 1e-2)
+}

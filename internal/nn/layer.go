@@ -1,0 +1,133 @@
+// Package nn is a from-scratch CNN inference and training stack: the
+// substrate the MILR paper assumes (it used TensorFlow; this module is
+// offline and stdlib-only, so the network engine is hand-rolled).
+//
+// It provides the four major CNN layer types the paper targets —
+// convolution, dense, pooling, and activation (§IV) — plus the bias,
+// flatten, and dropout layers its evaluation networks use. Bias is
+// modelled as an independent layer exactly as the paper treats it
+// ("it has its own mathematical operation, and its own relationship
+// between its input, output and parameters", §IV-E).
+//
+// Every layer supports three execution modes:
+//
+//   - Forward: normal inference.
+//   - RecoveryForward: the deterministic pass MILR uses during
+//     initialization, detection and recovery, in which activation layers
+//     are treated as identity (§IV-D) so golden tensors are reproducible
+//     algebraic functions of the parameters.
+//   - ForwardTrain/Backward: backpropagation, so evaluation networks can
+//     actually be trained on the synthetic datasets.
+package nn
+
+import (
+	"fmt"
+
+	"milr/internal/tensor"
+)
+
+// Cache carries per-layer state from ForwardTrain to Backward.
+type Cache interface{}
+
+// Layer is the common interface of all network layers.
+type Layer interface {
+	// Name returns the unique name the model assigned to this layer.
+	Name() string
+	// SetName is called once by the model during construction.
+	SetName(name string)
+	// OutShape computes the output shape for a given input shape.
+	OutShape(in tensor.Shape) (tensor.Shape, error)
+	// Forward runs normal inference on a single sample.
+	Forward(in *tensor.Tensor) (*tensor.Tensor, error)
+	// RecoveryForward runs the MILR deterministic pass (activations
+	// linearized; everything else identical to Forward).
+	RecoveryForward(in *tensor.Tensor) (*tensor.Tensor, error)
+	// ForwardTrain runs inference in training mode, returning whatever
+	// cache Backward needs.
+	ForwardTrain(in *tensor.Tensor) (*tensor.Tensor, Cache, error)
+	// Backward consumes the cache and the loss gradient w.r.t. the
+	// output, accumulates parameter gradients internally, and returns
+	// the gradient w.r.t. the input.
+	Backward(cache Cache, dout *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Parameterized is implemented by layers that own trainable parameters
+// (convolution, dense, bias). MILR's error detection and recovery operate
+// exclusively on these.
+type Parameterized interface {
+	Layer
+	// Params returns the live parameter tensor. Mutating it mutates the
+	// layer; this is the fault-injection and recovery surface.
+	Params() *tensor.Tensor
+	// SetParams overwrites the parameters with a tensor of equal size.
+	SetParams(p *tensor.Tensor) error
+	// ParamCount returns the number of trainable scalars.
+	ParamCount() int
+	// GradStep applies the accumulated gradient with SGD+momentum and
+	// clears it.
+	GradStep(lr, momentum float32)
+}
+
+// Invertible is implemented by layers whose input can be recomputed from
+// their output with no side information (bias, activation under recovery
+// semantics, flatten, dropout). Convolution and dense layers are only
+// conditionally invertible and are inverted by the MILR engine itself,
+// which owns the dummy data they may need.
+type Invertible interface {
+	Layer
+	// Invert computes the layer input that produced out under recovery
+	// semantics.
+	Invert(out *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// ShapeAware is implemented by layers that want to know their static
+// input shape when the model is built (flatten needs it to invert, conv
+// and pooling validate against it).
+type ShapeAware interface {
+	// SetInShape informs the layer of its build-time input shape.
+	SetInShape(in tensor.Shape) error
+}
+
+// named provides the Name/SetName plumbing shared by all layers.
+type named struct {
+	name string
+}
+
+func (n *named) Name() string        { return n.name }
+func (n *named) SetName(name string) { n.name = name }
+
+// sgdParam bundles a parameter tensor with its gradient and momentum
+// buffers and implements the shared half of Parameterized.
+type sgdParam struct {
+	w    *tensor.Tensor
+	grad *tensor.Tensor
+	vel  *tensor.Tensor
+}
+
+func newSGDParam(w *tensor.Tensor) sgdParam {
+	return sgdParam{
+		w:    w,
+		grad: tensor.New(w.Shape()...),
+		vel:  tensor.New(w.Shape()...),
+	}
+}
+
+func (p *sgdParam) Params() *tensor.Tensor { return p.w }
+
+func (p *sgdParam) SetParams(w *tensor.Tensor) error {
+	if w.NumElements() != p.w.NumElements() {
+		return fmt.Errorf("nn: SetParams size mismatch: %d vs %d", w.NumElements(), p.w.NumElements())
+	}
+	return p.w.CopyFrom(w)
+}
+
+func (p *sgdParam) ParamCount() int { return p.w.NumElements() }
+
+func (p *sgdParam) GradStep(lr, momentum float32) {
+	wd, gd, vd := p.w.Data(), p.grad.Data(), p.vel.Data()
+	for i := range wd {
+		vd[i] = momentum*vd[i] - lr*gd[i]
+		wd[i] += vd[i]
+		gd[i] = 0
+	}
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// Model is an ordered stack of layers with a fixed input shape. Building
+// the model assigns every layer a unique name (conv2d, conv2d_1, bias,
+// bias_1, ...), validates the shape chain, and informs ShapeAware layers
+// of their input shapes.
+type Model struct {
+	layers   []Layer
+	inShape  tensor.Shape
+	shapes   []tensor.Shape // shapes[i] is the input shape of layer i; shapes[len] is the output.
+	outShape tensor.Shape
+}
+
+// NewModel builds a model from layers for the given input shape.
+func NewModel(inShape tensor.Shape, layers ...Layer) (*Model, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: model needs at least one layer")
+	}
+	m := &Model{layers: layers, inShape: inShape.Clone()}
+	counts := make(map[string]int)
+	cur := inShape.Clone()
+	m.shapes = make([]tensor.Shape, 0, len(layers)+1)
+	for _, l := range layers {
+		base := typeName(l)
+		if n := counts[base]; n == 0 {
+			l.SetName(base)
+		} else {
+			l.SetName(fmt.Sprintf("%s_%d", base, n))
+		}
+		counts[base]++
+		if sa, ok := l.(ShapeAware); ok {
+			if err := sa.SetInShape(cur); err != nil {
+				return nil, fmt.Errorf("nn: build %q: %w", l.Name(), err)
+			}
+		}
+		m.shapes = append(m.shapes, cur.Clone())
+		next, err := l.OutShape(cur)
+		if err != nil {
+			return nil, fmt.Errorf("nn: build %q: %w", l.Name(), err)
+		}
+		cur = next
+	}
+	m.shapes = append(m.shapes, cur.Clone())
+	m.outShape = cur.Clone()
+	return m, nil
+}
+
+func typeName(l Layer) string {
+	switch v := l.(type) {
+	case *Conv2D:
+		return "conv2d"
+	case *Dense:
+		return "dense"
+	case *Bias:
+		return "bias"
+	case *Affine:
+		return "affine"
+	case *Activation:
+		return v.kind.String()
+	case *Pool2D:
+		return v.kind.String() + "_pool"
+	case *Flatten:
+		return "flatten"
+	case *Dropout:
+		return "dropout"
+	default:
+		return fmt.Sprintf("%T", l)
+	}
+}
+
+// Layers returns the layer stack (live; do not reorder).
+func (m *Model) Layers() []Layer { return m.layers }
+
+// Layer returns layer i.
+func (m *Model) Layer(i int) Layer { return m.layers[i] }
+
+// NumLayers returns the stack depth.
+func (m *Model) NumLayers() int { return len(m.layers) }
+
+// InShape returns the model input shape.
+func (m *Model) InShape() tensor.Shape { return m.inShape.Clone() }
+
+// OutShape returns the model output shape.
+func (m *Model) OutShape() tensor.Shape { return m.outShape.Clone() }
+
+// LayerInShape returns the build-time input shape of layer i (i may be
+// len(layers) to get the output shape of the whole model).
+func (m *Model) LayerInShape(i int) tensor.Shape { return m.shapes[i].Clone() }
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int {
+	var n int
+	for _, l := range m.layers {
+		if p, ok := l.(Parameterized); ok {
+			n += p.ParamCount()
+		}
+	}
+	return n
+}
+
+// Forward runs normal inference through the whole stack.
+func (m *Model) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.ForwardRange(0, len(m.layers), x, false)
+}
+
+// RecoveryForward runs the MILR deterministic pass through the whole
+// stack (activations linearized).
+func (m *Model) RecoveryForward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.ForwardRange(0, len(m.layers), x, true)
+}
+
+// ForwardRange runs layers [from, to) on x. With recovery set, layers use
+// their RecoveryForward semantics. The MILR engine uses this to move
+// golden tensors from a checkpoint boundary to an erroneous layer.
+func (m *Model) ForwardRange(from, to int, x *tensor.Tensor, recovery bool) (*tensor.Tensor, error) {
+	if from < 0 || to > len(m.layers) || from > to {
+		return nil, fmt.Errorf("nn: forward range [%d,%d) out of bounds for %d layers", from, to, len(m.layers))
+	}
+	cur := x
+	for i := from; i < to; i++ {
+		var err error
+		if recovery {
+			cur, err = m.layers[i].RecoveryForward(cur)
+		} else {
+			cur, err = m.layers[i].Forward(cur)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, m.layers[i].Name(), err)
+		}
+	}
+	return cur, nil
+}
+
+// Predict returns the argmax class of the final output for input x.
+func (m *Model) Predict(x *tensor.Tensor) (int, error) {
+	out, err := m.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	return out.ArgMax(), nil
+}
+
+// InitWeights fills every parameterized layer with scaled uniform values
+// (He-style fan-in scaling) from a deterministic stream, so experiments
+// are reproducible run-to-run.
+func (m *Model) InitWeights(seed uint64) {
+	stream := prng.New(seed)
+	for _, l := range m.layers {
+		p, ok := l.(Parameterized)
+		if !ok {
+			continue
+		}
+		var fanIn int
+		switch v := l.(type) {
+		case *Conv2D:
+			fanIn = v.f * v.f * v.z
+		case *Dense:
+			fanIn = v.n
+		default:
+			// Bias starts at zero.
+			p.Params().Fill(0)
+			continue
+		}
+		scale := float32(1.0)
+		if fanIn > 0 {
+			scale = float32(1.7 / math.Sqrt(float64(fanIn)))
+		}
+		d := p.Params().Data()
+		for i := range d {
+			d[i] = stream.Uniform(-scale, scale)
+		}
+	}
+}
+
+// ParamLayers returns the indices of all parameterized layers in order.
+func (m *Model) ParamLayers() []int {
+	var out []int
+	for i, l := range m.layers {
+		if _, ok := l.(Parameterized); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Snapshot deep-copies all parameter tensors, keyed by layer index.
+// Experiments use it to restore a clean network between fault-injection
+// runs.
+func (m *Model) Snapshot() map[int]*tensor.Tensor {
+	out := make(map[int]*tensor.Tensor)
+	for i, l := range m.layers {
+		if p, ok := l.(Parameterized); ok {
+			out[i] = p.Params().Clone()
+		}
+	}
+	return out
+}
+
+// Restore overwrites parameters from a Snapshot.
+func (m *Model) Restore(snap map[int]*tensor.Tensor) error {
+	for i, t := range snap {
+		if i < 0 || i >= len(m.layers) {
+			return fmt.Errorf("nn: restore index %d out of range", i)
+		}
+		p, ok := m.layers[i].(Parameterized)
+		if !ok {
+			return fmt.Errorf("nn: restore layer %d is not parameterized", i)
+		}
+		if err := p.SetParams(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel evaluation. Inference (Forward) is read-only with respect to
+// layer parameters, so independent samples can be evaluated from
+// concurrent goroutines. The worker pool is bounded and joined before
+// returning — no goroutine outlives the call.
+
+// EvaluateParallel returns classification accuracy over samples using up
+// to `workers` concurrent goroutines (0 means GOMAXPROCS).
+func EvaluateParallel(m *Model, samples []Sample, workers int) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation samples")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		correct  int
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			localCorrect := 0
+			for idx := range next {
+				pred, err := m.Predict(samples[idx].X)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				if pred == samples[idx].Label {
+					localCorrect++
+				}
+			}
+			mu.Lock()
+			correct += localCorrect
+			mu.Unlock()
+		}()
+	}
+	for i := range samples {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(correct) / float64(len(samples)), nil
+}
+
+// ConfusionMatrix counts predictions: cell (i,j) is the number of
+// class-i samples predicted as class j.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusionMatrix allocates a k-class matrix.
+func NewConfusionMatrix(k int) (*ConfusionMatrix, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("nn: invalid class count %d", k)
+	}
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	return &ConfusionMatrix{Classes: k, Counts: counts}, nil
+}
+
+// Add records one prediction.
+func (c *ConfusionMatrix) Add(label, pred int) error {
+	if label < 0 || label >= c.Classes || pred < 0 || pred >= c.Classes {
+		return fmt.Errorf("nn: confusion add (%d,%d) out of range for %d classes", label, pred, c.Classes)
+	}
+	c.Counts[label][pred]++
+	return nil
+}
+
+// Accuracy returns the trace ratio.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	var diag, total int
+	for i := range c.Counts {
+		for j, v := range c.Counts[i] {
+			total += v
+			if i == j {
+				diag += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// PerClassRecall returns recall per class (NaN-free: classes with no
+// samples report 0).
+func (c *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i, row := range c.Counts {
+		var total int
+		for _, v := range row {
+			total += v
+		}
+		if total > 0 {
+			out[i] = float64(row[i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// Confusion evaluates the model and returns the full confusion matrix;
+// richer than Evaluate when experiments need to see *which* classes an
+// error burst destroys.
+func Confusion(m *Model, samples []Sample, classes int) (*ConfusionMatrix, error) {
+	cm, err := NewConfusionMatrix(classes)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range samples {
+		pred, err := m.Predict(s.X)
+		if err != nil {
+			return nil, err
+		}
+		if err := cm.Add(s.Label, pred); err != nil {
+			return nil, err
+		}
+	}
+	return cm, nil
+}

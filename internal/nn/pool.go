@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"milr/internal/tensor"
+)
+
+// PoolKind selects the pooling reduction function.
+type PoolKind int
+
+const (
+	// MaxPool keeps the maximum of each window.
+	MaxPool PoolKind = iota + 1
+	// AvgPool keeps the mean of each window.
+	AvgPool
+)
+
+// String implements fmt.Stringer.
+func (k PoolKind) String() string {
+	switch k {
+	case MaxPool:
+		return "max"
+	case AvgPool:
+		return "avg"
+	default:
+		return fmt.Sprintf("PoolKind(%d)", int(k))
+	}
+}
+
+// Pool2D reduces the spatial dimensions of a (H,W,Z) input by applying a
+// reduction over non-overlapping k×k windows per channel. Pooling
+// "changes the input in a non-invertible way. Hence, it requires the
+// addition of a checkpoint that stores the input to the layer" (§IV-C):
+// the MILR planner always places a full checkpoint at a pooling layer's
+// input. Pooling has no parameters, so no parameter-solving function.
+type Pool2D struct {
+	named
+	kind PoolKind
+	k    int
+}
+
+// NewPool2D creates a pooling layer with window and stride k.
+func NewPool2D(kind PoolKind, k int) (*Pool2D, error) {
+	if k <= 1 {
+		return nil, fmt.Errorf("nn: invalid pool window %d", k)
+	}
+	if kind != MaxPool && kind != AvgPool {
+		return nil, fmt.Errorf("nn: unknown pool kind %d", kind)
+	}
+	return &Pool2D{kind: kind, k: k}, nil
+}
+
+// NewMaxPool2D is shorthand for the paper's pooling layers.
+func NewMaxPool2D(k int) (*Pool2D, error) { return NewPool2D(MaxPool, k) }
+
+// Window returns the pooling window extent.
+func (p *Pool2D) Window() int { return p.k }
+
+// Kind returns the reduction function.
+func (p *Pool2D) Kind() PoolKind { return p.kind }
+
+// OutShape implements Layer.
+func (p *Pool2D) OutShape(in tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: pool %q wants (H,W,Z) input, got %v", p.name, in)
+	}
+	if in[0]%p.k != 0 || in[1]%p.k != 0 {
+		return nil, fmt.Errorf("nn: pool %q window %d does not divide input %v", p.name, p.k, in)
+	}
+	return tensor.Shape{in[0] / p.k, in[1] / p.k, in[2]}, nil
+}
+
+type poolCache struct {
+	argmax  []int // flat input index chosen per output element (max pool)
+	inShape tensor.Shape
+}
+
+func (p *Pool2D) forward(in *tensor.Tensor, wantCache bool) (*tensor.Tensor, *poolCache, error) {
+	outShape, err := p.OutShape(in.Shape())
+	if err != nil {
+		return nil, nil, err
+	}
+	h, w, z := in.Dim(0), in.Dim(1), in.Dim(2)
+	oh, ow := outShape[0], outShape[1]
+	out := tensor.New(outShape...)
+	var cache *poolCache
+	if wantCache {
+		cache = &poolCache{argmax: make([]int, out.NumElements()), inShape: in.Shape()}
+	}
+	id, od := in.Data(), out.Data()
+	for i := 0; i < oh; i++ {
+		for j := 0; j < ow; j++ {
+			for c := 0; c < z; c++ {
+				oidx := (i*ow+j)*z + c
+				switch p.kind {
+				case MaxPool:
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for di := 0; di < p.k; di++ {
+						for dj := 0; dj < p.k; dj++ {
+							iidx := ((i*p.k+di)*w+(j*p.k+dj))*z + c
+							if id[iidx] > best {
+								best, bestIdx = id[iidx], iidx
+							}
+						}
+					}
+					od[oidx] = best
+					if cache != nil {
+						cache.argmax[oidx] = bestIdx
+					}
+				case AvgPool:
+					var sum float64
+					for di := 0; di < p.k; di++ {
+						for dj := 0; dj < p.k; dj++ {
+							sum += float64(id[((i*p.k+di)*w+(j*p.k+dj))*z+c])
+						}
+					}
+					od[oidx] = float32(sum / float64(p.k*p.k))
+				}
+			}
+		}
+	}
+	_ = h
+	return out, cache, nil
+}
+
+// Forward implements Layer.
+func (p *Pool2D) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out, _, err := p.forward(in, false)
+	return out, err
+}
+
+// RecoveryForward implements Layer. Pooling is deterministic, so the
+// recovery pass uses the normal reduction; invertibility is what pooling
+// lacks, and the MILR planner compensates with an input checkpoint.
+func (p *Pool2D) RecoveryForward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return p.Forward(in)
+}
+
+// ForwardTrain implements Layer.
+func (p *Pool2D) ForwardTrain(in *tensor.Tensor) (*tensor.Tensor, Cache, error) {
+	out, cache, err := p.forward(in, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, cache, nil
+}
+
+// Backward implements Layer.
+func (p *Pool2D) Backward(cache Cache, dout *tensor.Tensor) (*tensor.Tensor, error) {
+	pc, ok := cache.(*poolCache)
+	if !ok {
+		return nil, fmt.Errorf("nn: pool %q got foreign cache %T", p.name, cache)
+	}
+	din := tensor.New(pc.inShape...)
+	dd, dod := din.Data(), dout.Data()
+	switch p.kind {
+	case MaxPool:
+		for oidx, iidx := range pc.argmax {
+			dd[iidx] += dod[oidx]
+		}
+	case AvgPool:
+		oh := pc.inShape[0] / p.k
+		ow := pc.inShape[1] / p.k
+		w, z := pc.inShape[1], pc.inShape[2]
+		inv := float32(1) / float32(p.k*p.k)
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				for c := 0; c < z; c++ {
+					g := dod[(i*ow+j)*z+c] * inv
+					for di := 0; di < p.k; di++ {
+						for dj := 0; dj < p.k; dj++ {
+							dd[((i*p.k+di)*w+(j*p.k+dj))*z+c] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return din, nil
+}

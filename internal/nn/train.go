@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// Sample is one labelled training/test example.
+type Sample struct {
+	X     *tensor.Tensor
+	Label int
+}
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Momentum  float32
+	Seed      uint64
+	// Verbose, when set, receives one line per epoch.
+	Verbose func(format string, args ...interface{})
+}
+
+// SoftmaxCrossEntropy computes the loss and the logits gradient for a
+// (1,K) logit tensor and a class label.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Tensor, error) {
+	k := logits.NumElements()
+	if label < 0 || label >= k {
+		return 0, nil, fmt.Errorf("nn: label %d out of range for %d classes", label, k)
+	}
+	ld := logits.Data()
+	maxv := float64(ld[0])
+	for _, v := range ld {
+		if float64(v) > maxv {
+			maxv = float64(v)
+		}
+	}
+	var sum float64
+	probs := make([]float64, k)
+	for i, v := range ld {
+		probs[i] = math.Exp(float64(v) - maxv)
+		sum += probs[i]
+	}
+	grad := tensor.New(logits.Shape()...)
+	gd := grad.Data()
+	for i := range probs {
+		probs[i] /= sum
+		gd[i] = float32(probs[i])
+	}
+	gd[label] -= 1
+	loss := -math.Log(math.Max(probs[label], 1e-30))
+	return loss, grad, nil
+}
+
+// Train runs SGD with momentum over the samples. It returns the final
+// epoch's average loss.
+func Train(m *Model, samples []Sample, cfg TrainConfig) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no training samples")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return 0, fmt.Errorf("nn: invalid train config %+v", cfg)
+	}
+	stream := prng.New(cfg.Seed)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := stream.Perm(len(samples))
+		var epochLoss float64
+		var steps int
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			for _, pi := range perm[start:end] {
+				s := samples[pi]
+				loss, err := backprop(m, s)
+				if err != nil {
+					return 0, err
+				}
+				epochLoss += loss
+			}
+			// Scale the learning rate by the actual mini-batch size so
+			// accumulated gradients average rather than sum.
+			lr := cfg.LR / float32(end-start)
+			for _, l := range m.layers {
+				if p, ok := l.(Parameterized); ok {
+					p.GradStep(lr, cfg.Momentum)
+				}
+			}
+			steps++
+		}
+		lastLoss = epochLoss / float64(len(samples))
+		if cfg.Verbose != nil {
+			cfg.Verbose("epoch %d/%d: loss=%.4f", epoch+1, cfg.Epochs, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// backprop runs one forward+backward pass, accumulating gradients.
+func backprop(m *Model, s Sample) (float64, error) {
+	caches := make([]Cache, len(m.layers))
+	cur := s.X
+	for i, l := range m.layers {
+		out, cache, err := l.ForwardTrain(cur)
+		if err != nil {
+			return 0, fmt.Errorf("nn: train forward layer %d (%s): %w", i, l.Name(), err)
+		}
+		caches[i] = cache
+		cur = out
+	}
+	loss, grad, err := SoftmaxCrossEntropy(cur, s.Label)
+	if err != nil {
+		return 0, err
+	}
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		grad, err = m.layers[i].Backward(caches[i], grad)
+		if err != nil {
+			return 0, fmt.Errorf("nn: train backward layer %d (%s): %w", i, m.layers[i].Name(), err)
+		}
+	}
+	return loss, nil
+}
+
+// Evaluate returns the classification accuracy of the model on samples.
+func Evaluate(m *Model, samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation samples")
+	}
+	var correct int
+	for _, s := range samples {
+		pred, err := m.Predict(s.X)
+		if err != nil {
+			return 0, err
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}

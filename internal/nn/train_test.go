@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"testing"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// makeToySamples builds a trivially separable 2-class problem on the
+// tiny net's input shape: class 0 is bright in the top half, class 1 in
+// the bottom half.
+func makeToySamples(n int, seed uint64) []Sample {
+	s := prng.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		label := i % 2
+		x := tensor.New(12, 12, 1)
+		d := x.Data()
+		for y := 0; y < 12; y++ {
+			for xx := 0; xx < 12; xx++ {
+				v := s.Uniform(-0.1, 0.1)
+				if (label == 0 && y < 6) || (label == 1 && y >= 6) {
+					v += 1
+				}
+				d[y*12+xx] = v
+			}
+		}
+		out[i] = Sample{X: x, Label: label}
+	}
+	return out
+}
+
+func TestTrainingLearnsSeparableProblem(t *testing.T) {
+	m, err := NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(1)
+	train := makeToySamples(60, 10)
+	test := makeToySamples(40, 20)
+	before, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := Train(m, train, TrainConfig{Epochs: 8, BatchSize: 8, LR: 0.05, Momentum: 0.9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < 0.9 {
+		t.Errorf("accuracy %v after training (before %v, final loss %v)", after, before, loss)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	m, _ := NewTinyNet()
+	if _, err := Train(m, nil, TrainConfig{Epochs: 1, BatchSize: 1, LR: 0.1}); err == nil {
+		t.Error("empty training set must fail")
+	}
+	if _, err := Train(m, makeToySamples(2, 1), TrainConfig{}); err == nil {
+		t.Error("zero config must fail")
+	}
+	if _, err := Evaluate(m, nil); err == nil {
+		t.Error("empty eval set must fail")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	run := func() map[int]*tensor.Tensor {
+		m, _ := NewTinyNet()
+		m.InitWeights(3)
+		_, err := Train(m, makeToySamples(20, 5), TrainConfig{Epochs: 2, BatchSize: 4, LR: 0.05, Momentum: 0.9, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot()
+	}
+	a, b := run(), run()
+	for k := range a {
+		if !a[k].Equalish(b[k], 0) {
+			t.Fatalf("layer %d weights differ between identical training runs", k)
+		}
+	}
+}

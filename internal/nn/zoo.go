@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"fmt"
+
+	"milr/internal/tensor"
+)
+
+// This file builds the paper's three evaluation networks (Tables I, II,
+// III) exactly: layer types, shapes, padding policies, and trainable
+// parameter counts all match. Each convolution and dense layer is
+// followed by a separate bias layer and (except the logit layer) a ReLU
+// activation layer, the decomposition the paper uses throughout §IV.
+
+// convBlock returns conv+bias+optional relu.
+func convBlock(f, z, y int, padding Padding, relu bool) ([]Layer, error) {
+	conv, err := NewConv2D(f, z, y, 1, padding)
+	if err != nil {
+		return nil, err
+	}
+	bias, err := NewBias(y)
+	if err != nil {
+		return nil, err
+	}
+	ls := []Layer{conv, bias}
+	if relu {
+		ls = append(ls, NewReLU())
+	}
+	return ls, nil
+}
+
+// denseBlock returns dense+bias+optional relu.
+func denseBlock(n, p int, relu bool) ([]Layer, error) {
+	dense, err := NewDense(n, p)
+	if err != nil {
+		return nil, err
+	}
+	bias, err := NewBias(p)
+	if err != nil {
+		return nil, err
+	}
+	ls := []Layer{dense, bias}
+	if relu {
+		ls = append(ls, NewReLU())
+	}
+	return ls, nil
+}
+
+func stack(groups ...[]Layer) []Layer {
+	var out []Layer
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+func mustPool(k int) []Layer {
+	p, err := NewMaxPool2D(k)
+	if err != nil {
+		panic(err) // static configuration, unreachable
+	}
+	return []Layer{p}
+}
+
+// NewMNISTNet builds the paper's MNIST network (Table I): three valid-
+// padding convolutions, one max pool, and two dense layers; 1,669,290
+// trainable parameters.
+func NewMNISTNet() (*Model, error) {
+	c0, err := convBlock(3, 1, 32, Valid, true)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := convBlock(3, 32, 32, Valid, true)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := convBlock(3, 32, 64, Valid, true)
+	if err != nil {
+		return nil, err
+	}
+	d0, err := denseBlock(6400, 256, true)
+	if err != nil {
+		return nil, err
+	}
+	d1, err := denseBlock(256, 10, false)
+	if err != nil {
+		return nil, err
+	}
+	layers := stack(c0, c1, mustPool(2), c2, []Layer{NewFlatten()}, d0, d1)
+	return NewModel(tensor.Shape{28, 28, 1}, layers...)
+}
+
+// NewCIFARSmallNet builds the paper's small CIFAR-10 network (Table II):
+// a VGG-inspired stack of same-padding convolutions; 698,154 trainable
+// parameters.
+func NewCIFARSmallNet() (*Model, error) {
+	specs := []struct{ z, y int }{
+		{3, 32}, {32, 32}, // block 1
+		{32, 64}, {64, 64}, // block 2
+		{64, 128}, {128, 128}, {128, 128}, // block 3
+	}
+	blocks := make([][]Layer, 0, 16)
+	for i, s := range specs {
+		b, err := convBlock(3, s.z, s.y, Same, true)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+		// Pools close blocks 1 (after conv 1), 2 (after conv 3), and 3
+		// (after conv 6).
+		if i == 1 || i == 3 || i == 6 {
+			blocks = append(blocks, mustPool(2))
+		}
+	}
+	d0, err := denseBlock(2048, 128, true)
+	if err != nil {
+		return nil, err
+	}
+	d1, err := denseBlock(128, 10, false)
+	if err != nil {
+		return nil, err
+	}
+	blocks = append(blocks, []Layer{NewFlatten()}, d0, d1)
+	return NewModel(tensor.Shape{32, 32, 3}, stack(blocks...)...)
+}
+
+// NewCIFARLargeNet builds the paper's large CIFAR-10 network (Table III),
+// based on the FAWCA paper's model: six 5×5 same-padding convolutions and
+// two dense layers; 2,389,786 trainable parameters.
+func NewCIFARLargeNet() (*Model, error) {
+	specs := []struct {
+		z, y int
+		pool bool
+	}{
+		{3, 96, true},
+		{96, 96, true},
+		{96, 80, false},
+		{80, 64, false},
+		{64, 64, false},
+		{64, 96, false},
+	}
+	blocks := make([][]Layer, 0, 16)
+	for _, s := range specs {
+		b, err := convBlock(5, s.z, s.y, Same, true)
+		if err != nil {
+			return nil, err
+		}
+		blocks = append(blocks, b)
+		if s.pool {
+			blocks = append(blocks, mustPool(2))
+		}
+	}
+	d0, err := denseBlock(6144, 256, true)
+	if err != nil {
+		return nil, err
+	}
+	d1, err := denseBlock(256, 10, false)
+	if err != nil {
+		return nil, err
+	}
+	blocks = append(blocks, []Layer{NewFlatten()}, d0, d1)
+	return NewModel(tensor.Shape{32, 32, 3}, stack(blocks...)...)
+}
+
+// NewTinyNet builds a miniature conv net over (12,12,1) inputs used by
+// the test suite and quick examples: it has every layer kind MILR handles
+// (conv, bias, relu, pool, flatten, dense) at sizes where whole-layer
+// recovery completes in milliseconds. Both convolutions satisfy
+// G² ≥ F²Z, so every layer is fully recoverable.
+func NewTinyNet() (*Model, error) {
+	c0, err := convBlock(3, 1, 4, Valid, true) // -> (10,10,4); G²=100 ≥ 9
+	if err != nil {
+		return nil, err
+	}
+	c1, err := convBlock(3, 4, 8, Valid, true) // -> (8,8,8); G²=64 ≥ 36
+	if err != nil {
+		return nil, err
+	}
+	d0, err := denseBlock(128, 16, true) // after pool -> (4,4,8) = 128
+	if err != nil {
+		return nil, err
+	}
+	d1, err := denseBlock(16, 4, false)
+	if err != nil {
+		return nil, err
+	}
+	layers := stack(c0, c1, mustPool(2), []Layer{NewFlatten()}, d0, d1)
+	return NewModel(tensor.Shape{12, 12, 1}, layers...)
+}
+
+// NewTinyPartialNet builds a miniature net whose second convolution is in
+// MILR partial-recoverability mode (G² = 16 < F²Z = 36): the regime the
+// paper's larger CIFAR conv layers live in, where 2-D CRC localization
+// and restricted solving take over and whole-layer corruption is only
+// approximately recoverable.
+func NewTinyPartialNet() (*Model, error) {
+	c0, err := convBlock(3, 1, 4, Valid, true) // (8,8,1) -> (6,6,4)
+	if err != nil {
+		return nil, err
+	}
+	c1, err := convBlock(3, 4, 8, Valid, true) // -> (4,4,8); G²=16 < 36
+	if err != nil {
+		return nil, err
+	}
+	d0, err := denseBlock(128, 8, true) // flatten of (4,4,8) = 128
+	if err != nil {
+		return nil, err
+	}
+	layers := stack(c0, c1, []Layer{NewFlatten()}, d0)
+	return NewModel(tensor.Shape{8, 8, 1}, layers...)
+}
+
+// ArchRow is one row of a Table I/II/III style architecture listing.
+type ArchRow struct {
+	Layer     string
+	OutShape  tensor.Shape
+	Trainable int
+}
+
+// Architecture summarizes a model the way the paper's tables do: conv and
+// dense rows absorb their bias parameters, pooling rows show zero.
+func Architecture(m *Model) []ArchRow {
+	var rows []ArchRow
+	for i, l := range m.layers {
+		outShape, err := l.OutShape(m.LayerInShape(i))
+		if err != nil {
+			// Shapes were validated at build time; this is unreachable.
+			panic(fmt.Sprintf("nn: architecture shape error: %v", err))
+		}
+		switch v := l.(type) {
+		case *Conv2D:
+			n := v.ParamCount()
+			if b := followingBias(m, i); b != nil {
+				n += b.ParamCount()
+			}
+			rows = append(rows, ArchRow{Layer: "Conv. 2D", OutShape: outShape, Trainable: n})
+		case *Dense:
+			n := v.ParamCount()
+			if b := followingBias(m, i); b != nil {
+				n += b.ParamCount()
+			}
+			rows = append(rows, ArchRow{Layer: "Dense", OutShape: outShape, Trainable: n})
+		case *Pool2D:
+			rows = append(rows, ArchRow{Layer: "Max Pooling", OutShape: outShape, Trainable: 0})
+		}
+	}
+	return rows
+}
+
+func followingBias(m *Model, i int) *Bias {
+	if i+1 < len(m.layers) {
+		if b, ok := m.layers[i+1].(*Bias); ok {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package xts implements AES-XTS, the memory-encryption mode the paper's
+// threat model centres on (Figure 1: AMD SEV / Intel MKTME encrypt VM
+// memory with AES-XTS). Its defining property for MILR is diffusion
+// inside an encryption block: "An uncorrected bit error in the ciphertext
+// of a word translates to many-bit error in the plaintext after
+// decryption in AES-XTS mode ... concentrated in bits that belong to an
+// encryption word" (§I). The fault injector uses this package to turn
+// single ciphertext bit flips into whole-16-byte plaintext garbles — the
+// whole-weight error model of Figures 6, 8, and 10.
+//
+// XTS-AES per IEEE 1619: two AES keys; key2 encrypts the sector tweak,
+// which is then multiplied by α^j in GF(2^128) for the j-th block and
+// XOR-ed around the key1 AES of each 16-byte block.
+package xts
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+// BlockSize is the AES block size: the plaintext blast radius of one
+// ciphertext bit flip.
+const BlockSize = 16
+
+// Cipher encrypts fixed-size sectors in XTS mode.
+type Cipher struct {
+	k1, k2 cipher.Block
+}
+
+// NewCipher creates an XTS cipher from a double-length key (32 bytes for
+// AES-128-XTS, 64 for AES-256-XTS).
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key)%2 != 0 {
+		return nil, fmt.Errorf("xts: key length %d is not even", len(key))
+	}
+	half := len(key) / 2
+	k1, err := aes.NewCipher(key[:half])
+	if err != nil {
+		return nil, fmt.Errorf("xts: data key: %w", err)
+	}
+	k2, err := aes.NewCipher(key[half:])
+	if err != nil {
+		return nil, fmt.Errorf("xts: tweak key: %w", err)
+	}
+	return &Cipher{k1: k1, k2: k2}, nil
+}
+
+// mulAlpha multiplies a 16-byte GF(2^128) element by α (x) in place,
+// little-endian per IEEE 1619.
+func mulAlpha(t *[BlockSize]byte) {
+	var carry byte
+	for i := 0; i < BlockSize; i++ {
+		next := t[i] >> 7
+		t[i] = t[i]<<1 | carry
+		carry = next
+	}
+	if carry != 0 {
+		t[0] ^= 0x87
+	}
+}
+
+func (c *Cipher) tweakFor(sector uint64) [BlockSize]byte {
+	var t [BlockSize]byte
+	for i := 0; i < 8; i++ {
+		t[i] = byte(sector >> (8 * uint(i)))
+	}
+	c.k2.Encrypt(t[:], t[:])
+	return t
+}
+
+func (c *Cipher) process(dst, src []byte, sector uint64, encrypt bool) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("xts: data length %d is not a multiple of %d (ciphertext stealing not needed for weight buffers)",
+			len(src), BlockSize)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("xts: dst length %d shorter than src %d", len(dst), len(src))
+	}
+	tweak := c.tweakFor(sector)
+	var buf [BlockSize]byte
+	for off := 0; off < len(src); off += BlockSize {
+		for i := 0; i < BlockSize; i++ {
+			buf[i] = src[off+i] ^ tweak[i]
+		}
+		if encrypt {
+			c.k1.Encrypt(buf[:], buf[:])
+		} else {
+			c.k1.Decrypt(buf[:], buf[:])
+		}
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] = buf[i] ^ tweak[i]
+		}
+		mulAlpha(&tweak)
+	}
+	return nil
+}
+
+// Encrypt encrypts src into dst (may alias) for the given sector number.
+func (c *Cipher) Encrypt(dst, src []byte, sector uint64) error {
+	return c.process(dst, src, sector, true)
+}
+
+// Decrypt decrypts src into dst (may alias) for the given sector number.
+func (c *Cipher) Decrypt(dst, src []byte, sector uint64) error {
+	return c.process(dst, src, sector, false)
+}
+
+// EncryptedBuffer models an encrypted VM's view of a weight buffer: the
+// plaintext lives only transiently; what an attacker or a soft error can
+// touch is the ciphertext. Flipping ciphertext bits and decrypting
+// reproduces the paper's plaintext-space error distribution.
+type EncryptedBuffer struct {
+	cipher     *Cipher
+	sector     uint64
+	Ciphertext []byte
+}
+
+// NewEncryptedBuffer encrypts plaintext under the cipher.
+func NewEncryptedBuffer(c *Cipher, plaintext []byte, sector uint64) (*EncryptedBuffer, error) {
+	ct := make([]byte, len(plaintext))
+	if err := c.Encrypt(ct, plaintext, sector); err != nil {
+		return nil, err
+	}
+	return &EncryptedBuffer{cipher: c, sector: sector, Ciphertext: ct}, nil
+}
+
+// FlipCiphertextBit flips one bit of the stored ciphertext.
+func (b *EncryptedBuffer) FlipCiphertextBit(bit int) error {
+	if bit < 0 || bit >= len(b.Ciphertext)*8 {
+		return fmt.Errorf("xts: bit %d out of range [0,%d)", bit, len(b.Ciphertext)*8)
+	}
+	b.Ciphertext[bit/8] ^= 1 << uint(bit%8)
+	return nil
+}
+
+// Decrypt returns the current plaintext view of the buffer.
+func (b *EncryptedBuffer) Decrypt() ([]byte, error) {
+	pt := make([]byte, len(b.Ciphertext))
+	if err := b.cipher.Decrypt(pt, b.Ciphertext, b.sector); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}

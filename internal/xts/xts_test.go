@@ -1,0 +1,160 @@
+package xts
+
+import (
+	"bytes"
+	"testing"
+
+	"milr/internal/prng"
+)
+
+func testKey(n int) []byte {
+	s := prng.New(7)
+	key := make([]byte, n)
+	for i := range key {
+		key[i] = byte(s.Uint64())
+	}
+	return key
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, keyLen := range []int{32, 64} {
+		c, err := NewCipher(testKey(keyLen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := make([]byte, 256)
+		s := prng.New(1)
+		for i := range pt {
+			pt[i] = byte(s.Uint64())
+		}
+		ct := make([]byte, len(pt))
+		if err := c.Encrypt(ct, pt, 5); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(ct, pt) {
+			t.Fatal("ciphertext equals plaintext")
+		}
+		back := make([]byte, len(pt))
+		if err := c.Decrypt(back, ct, 5); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatal("round trip failed")
+		}
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 33)); err == nil {
+		t.Error("odd key length must fail")
+	}
+	if _, err := NewCipher(make([]byte, 10)); err == nil {
+		t.Error("bad AES key size must fail")
+	}
+}
+
+func TestBlockAlignment(t *testing.T) {
+	c, _ := NewCipher(testKey(32))
+	if err := c.Encrypt(make([]byte, 15), make([]byte, 15), 0); err == nil {
+		t.Error("non-block-multiple must fail")
+	}
+}
+
+func TestSectorAndPositionDistinctness(t *testing.T) {
+	c, _ := NewCipher(testKey(32))
+	pt := make([]byte, 32) // two identical zero blocks
+	ct := make([]byte, 32)
+	if err := c.Encrypt(ct, pt, 0); err != nil {
+		t.Fatal(err)
+	}
+	// XTS tweak chaining: identical plaintext blocks at different
+	// positions must encrypt differently.
+	if bytes.Equal(ct[:16], ct[16:]) {
+		t.Error("identical blocks encrypted identically within sector")
+	}
+	ct2 := make([]byte, 32)
+	if err := c.Encrypt(ct2, pt, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct, ct2) {
+		t.Error("identical data encrypted identically across sectors")
+	}
+}
+
+// The property MILR's plaintext-space argument rests on: one ciphertext
+// bit flip garbles (essentially) the whole 16-byte block and nothing
+// else.
+func TestCiphertextBitFlipDiffusion(t *testing.T) {
+	c, _ := NewCipher(testKey(32))
+	pt := make([]byte, 64)
+	s := prng.New(2)
+	for i := range pt {
+		pt[i] = byte(s.Uint64())
+	}
+	enc, err := NewEncryptedBuffer(c, pt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.FlipCiphertextBit(16*8 + 3); err != nil { // bit in block 1
+		t.Fatal(err)
+	}
+	got, err := enc.Decrypt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0, 2, 3 untouched.
+	for _, blk := range []int{0, 2, 3} {
+		if !bytes.Equal(got[blk*16:(blk+1)*16], pt[blk*16:(blk+1)*16]) {
+			t.Errorf("block %d corrupted by flip in block 1", blk)
+		}
+	}
+	// Block 1 heavily garbled: count differing bits; AES diffusion gives
+	// ≈64 of 128 on average, and below 32 is essentially impossible.
+	diffBits := 0
+	for i := 16; i < 32; i++ {
+		d := got[i] ^ pt[i]
+		for ; d != 0; d &= d - 1 {
+			diffBits++
+		}
+	}
+	if diffBits < 32 {
+		t.Errorf("only %d plaintext bits changed in the flipped block; want many-bit corruption", diffBits)
+	}
+}
+
+func TestFlipBitRange(t *testing.T) {
+	c, _ := NewCipher(testKey(32))
+	enc, err := NewEncryptedBuffer(c, make([]byte, 16), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.FlipCiphertextBit(-1); err == nil {
+		t.Error("negative bit must fail")
+	}
+	if err := enc.FlipCiphertextBit(128); err == nil {
+		t.Error("out-of-range bit must fail")
+	}
+}
+
+func TestMulAlphaCarry(t *testing.T) {
+	// α·x where the top bit is set must fold the GF(2^128) modulus back
+	// in (0x87 into the low byte).
+	var x [BlockSize]byte
+	x[15] = 0x80
+	mulAlpha(&x)
+	if x[0] != 0x87 {
+		t.Errorf("carry fold: low byte %#x, want 0x87", x[0])
+	}
+	for i := 1; i < BlockSize; i++ {
+		if x[i] != 0 {
+			t.Errorf("byte %d = %#x, want 0", i, x[i])
+		}
+	}
+	// No carry: plain doubling.
+	var y [BlockSize]byte
+	y[0] = 1
+	mulAlpha(&y)
+	if y[0] != 2 {
+		t.Errorf("doubling: %#x, want 2", y[0])
+	}
+}

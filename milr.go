@@ -1,0 +1,163 @@
+// Package milr is a from-scratch Go reproduction of "MILR: Mathematically
+// Induced Layer Recovery for Plaintext Space Error Correction of CNNs"
+// (Ponader, Kundu, Solihin — DSN 2021).
+//
+// MILR is a software-only error detection and self-healing scheme for CNN
+// weights. It exploits the algebraic relationship between each layer's
+// input, parameters and output: knowing two of the three recovers the
+// third. Partial checkpoints (one stored output per filter or parameter
+// column, against seeded pseudo-random inputs) detect erroneous layers;
+// golden input/output pairs moved through the network from sparse full
+// checkpoints let MILR re-solve the erroneous parameters — repairing
+// multi-bit, whole-weight and whole-layer errors that SECDED ECC cannot,
+// which is exactly what matters in the plaintext space of encrypted VMs
+// where one ciphertext bit flip garbles a whole AES block of weights.
+//
+// This package is the public façade. The implementation lives in the
+// internal packages:
+//
+//	internal/nn           CNN inference + training substrate
+//	internal/core         the MILR engine (init / detect / recover)
+//	internal/ecc          SECDED (39,32) baseline
+//	internal/xts          AES-XTS memory-encryption model
+//	internal/crc2d        2-D CRC weight localization
+//	internal/faults       fault injectors (RBER, whole-weight, layers)
+//	internal/dataset      deterministic synthetic datasets
+//	internal/bench        per-table/figure experiment harness
+//	internal/availability Eq. 6 availability–accuracy model
+//
+// Quick start:
+//
+//	model, _ := milr.NewMNISTNet()
+//	model.InitWeights(42)
+//	prot, _ := milr.Protect(model, 42)
+//	// ... weights get corrupted in fault-prone memory ...
+//	det, rec, _ := prot.SelfHeal()
+package milr
+
+import (
+	"io"
+
+	"milr/internal/core"
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// Re-exported types: the full method sets of these types are part of the
+// public API.
+type (
+	// Model is an ordered stack of CNN layers with a fixed input shape.
+	Model = nn.Model
+	// Sample is one labelled input for training or evaluation.
+	Sample = nn.Sample
+	// Layer is the common interface of all network layers.
+	Layer = nn.Layer
+	// Parameterized is implemented by layers MILR protects (conv, dense,
+	// bias).
+	Parameterized = nn.Parameterized
+
+	// Protector attaches MILR protection to a model.
+	Protector = core.Protector
+	// Options tunes MILR (seed, tolerances, CRC group, cost policies).
+	Options = core.Options
+	// DetectionReport is the log of erroneous layers detection produces.
+	DetectionReport = core.DetectionReport
+	// RecoveryReport lists per-layer recovery outcomes.
+	RecoveryReport = core.RecoveryReport
+	// StorageReport itemizes MILR's error-resistant storage cost.
+	StorageReport = core.StorageReport
+	// LayerPlanInfo exposes the per-layer checkpoint/solver plan.
+	LayerPlanInfo = core.LayerPlanInfo
+
+	// Tensor is a dense row-major N-dimensional float32 array.
+	Tensor = tensor.Tensor
+	// Shape describes tensor extents, outermost dimension first.
+	Shape = tensor.Shape
+
+	// Guard runs detection on a schedule and recovers automatically.
+	Guard = core.Guard
+	// GuardConfig configures NewGuard (interval, event hook).
+	GuardConfig = core.GuardConfig
+	// GuardStats aggregates scrub/recovery counts and downtime.
+	GuardStats = core.GuardStats
+	// GuardEvent describes one scrub cycle.
+	GuardEvent = core.GuardEvent
+)
+
+// NewGuard starts a background scrub loop over a protected model; call
+// Stop to shut it down. This is the deployment loop behind the paper's
+// availability–accuracy trade-off (§V-E).
+func NewGuard(pr *Protector, cfg GuardConfig) (*Guard, error) {
+	return core.NewGuard(pr, cfg)
+}
+
+// SaveProtector persists a protector's golden data (what the paper keeps
+// on SSD/persistent memory).
+func SaveProtector(pr *Protector, w io.Writer) error { return pr.Save(w) }
+
+// LoadProtector reattaches persisted golden data to a model after a
+// restart, skipping the initialization phase.
+func LoadProtector(r io.Reader, m *Model) (*Protector, error) {
+	return core.LoadProtector(r, m)
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data in a tensor of the given shape.
+func TensorFromSlice(data []float32, shape ...int) (*Tensor, error) {
+	return tensor.FromSlice(data, shape...)
+}
+
+// Recovery statuses, re-exported from the engine.
+const (
+	// Recovered means a layer verifies clean after re-solving.
+	Recovered = core.Recovered
+	// Approximate means a least-squares best effort was applied (the
+	// paper's partial-recoverability cases).
+	Approximate = core.Approximate
+	// Failed means no solution could be produced.
+	Failed = core.Failed
+)
+
+// Network constructors for the paper's evaluation models.
+var (
+	// NewMNISTNet builds the Table I network (28×28×1 → 10 classes).
+	NewMNISTNet = nn.NewMNISTNet
+	// NewCIFARSmallNet builds the Table II network (32×32×3 → 10).
+	NewCIFARSmallNet = nn.NewCIFARSmallNet
+	// NewCIFARLargeNet builds the Table III network (32×32×3 → 10).
+	NewCIFARLargeNet = nn.NewCIFARLargeNet
+	// NewTinyNet builds a miniature fully-recoverable network for
+	// experimentation.
+	NewTinyNet = nn.NewTinyNet
+)
+
+// DefaultOptions returns the evaluation configuration for a master seed.
+func DefaultOptions(seed uint64) Options { return core.DefaultOptions(seed) }
+
+// Protect runs MILR's initialization phase on a model with default
+// options: it plans checkpoints, stores partial/full checkpoints, dummy
+// outputs, CRC codes, and bias sums. Afterwards, Detect, Recover, and
+// SelfHeal provide error detection and self-healing.
+func Protect(m *Model, seed uint64) (*Protector, error) {
+	return core.NewProtector(m, core.DefaultOptions(seed))
+}
+
+// ProtectWithOptions is Protect with explicit options.
+func ProtectWithOptions(m *Model, opts Options) (*Protector, error) {
+	return core.NewProtector(m, opts)
+}
+
+// Train fits a model to samples with SGD + momentum.
+func Train(m *Model, samples []Sample, cfg TrainConfig) (float64, error) {
+	return nn.Train(m, samples, cfg)
+}
+
+// TrainConfig configures Train.
+type TrainConfig = nn.TrainConfig
+
+// Evaluate returns classification accuracy on samples.
+func Evaluate(m *Model, samples []Sample) (float64, error) {
+	return nn.Evaluate(m, samples)
+}
