@@ -1,0 +1,38 @@
+#!/bin/sh -e
+# bench.sh — multi-CPU benchmark sweeps over the MILR engine's key
+# paths, in the style of sync_gateway's bench.sh, hardened per the
+# benchmark-validation protocol: a clean build sanity-checks the tree
+# before any numbers are produced, every suite runs at -cpu 1,2,4 so
+# scaling (or the lack of it — see BENCHMARKS.md on single-core boxes)
+# is visible, and a repeated-run variance check guards against the
+# stale-binary / noisy-neighbour failure mode.
+#
+# Usage:
+#   ./bench.sh             # default: -benchtime 1x smoke + variance check
+#   BENCHTIME=5s ./bench.sh    # longer, steadier numbers
+#   CPUS=1,2,4,8 ./bench.sh    # wider CPU sweep
+
+BENCHTIME="${BENCHTIME:-1x}"
+CPUS="${CPUS:-1,2,4}"
+
+echo "== clean build sanity (benchmark-validation protocol) =="
+go vet ./...
+go build ./...
+go version
+git rev-parse HEAD 2>/dev/null || true
+
+echo "== GEMM kernel scaling =="
+go test ./internal/tensor -bench 'MatMulWorkers' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
+echo "== architecture tables (Tables I–III) =="
+go test . -bench 'BenchmarkTables1to3_Architectures' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
+echo "== RBER sweep campaign, serial vs sharded (Figure 9 path) =="
+go test . -bench 'BenchmarkRBERSweepWorkers' -benchtime "$BENCHTIME" -run XXX
+
+echo "== detection scrub (Table X identification path) =="
+go test . -bench 'BenchmarkTable10_Identification' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
+echo "== variance check: the architecture bench twice, same -cpu =="
+go test . -bench 'BenchmarkTables1to3_Architectures' -cpu 1 -benchtime "$BENCHTIME" -run XXX -count 2
+echo "If the two runs above differ wildly, do NOT trust this session's numbers."

@@ -1,0 +1,3 @@
+module milr
+
+go 1.22

@@ -69,6 +69,15 @@ type Config struct {
 	Epochs       int
 	// Seed drives every deterministic choice.
 	Seed uint64
+	// Workers bounds the worker pools at every level of the stack:
+	// fault-injection campaigns shard runs across environment clones,
+	// the MILR engine scrubs/solves concurrently, and the GEMM forward
+	// passes fan out. 0 keeps everything serial, n > 0 uses at most n
+	// workers per pool, negative resolves to GOMAXPROCS. Results are
+	// bit-identical at every setting: campaign cells derive their PRNG
+	// streams from the master seed alone (see runSeed), never from
+	// worker identity or scheduling order.
+	Workers int
 	// Verbose, when non-nil, receives progress lines.
 	Verbose io.Writer
 }
@@ -175,33 +184,49 @@ type netData struct {
 	train, test []nn.Sample
 }
 
-func buildNet(kind NetKind, cfg Config) (*nn.Model, core.Options, *netData, error) {
+// buildModel constructs the (untrained) network and MILR options for a
+// kind, applying the configuration's worker counts to both.
+func buildModel(kind NetKind, cfg Config) (*nn.Model, core.Options, error) {
 	opts := core.DefaultOptions(cfg.Seed)
+	opts.Workers = cfg.Workers
 	var model *nn.Model
-	var dcfg dataset.Config
 	var err error
 	switch kind {
 	case MNIST:
 		model, err = nn.NewMNISTNet()
-		dcfg = dataset.MNISTLike(cfg.Seed)
 	case CIFARSmall:
 		model, err = nn.NewCIFARSmallNet()
-		dcfg = dataset.CIFARLike(cfg.Seed)
 	case CIFARLarge:
 		model, err = nn.NewCIFARLargeNet()
-		dcfg = dataset.CIFARLike(cfg.Seed)
 		// The paper's cost policy: every conv layer of the large network
 		// uses partial recoverability (§V-D).
 		opts.MaxFullSolveTaps = 1
 	case Tiny:
 		model, err = nn.NewTinyNet()
-		dcfg = dataset.Config{Height: 12, Width: 12, Channels: 1, Classes: 4,
-			NoiseStd: 0.15, MaxShift: 1, Seed: cfg.Seed}
 	default:
-		return nil, opts, nil, fmt.Errorf("bench: unknown net kind %d", kind)
+		return nil, opts, fmt.Errorf("bench: unknown net kind %d", kind)
 	}
 	if err != nil {
+		return nil, opts, err
+	}
+	model.SetWorkers(cfg.Workers)
+	return model, opts, nil
+}
+
+func buildNet(kind NetKind, cfg Config) (*nn.Model, core.Options, *netData, error) {
+	model, opts, err := buildModel(kind, cfg)
+	if err != nil {
 		return nil, opts, nil, err
+	}
+	var dcfg dataset.Config
+	switch kind {
+	case MNIST:
+		dcfg = dataset.MNISTLike(cfg.Seed)
+	case CIFARSmall, CIFARLarge:
+		dcfg = dataset.CIFARLike(cfg.Seed)
+	case Tiny:
+		dcfg = dataset.Config{Height: 12, Width: 12, Channels: 1, Classes: 4,
+			NoiseStd: 0.15, MaxShift: 1, Seed: cfg.Seed}
 	}
 	ds, err := dataset.New(dcfg)
 	if err != nil {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"milr/internal/availability"
@@ -102,8 +103,8 @@ var PaperWholeWeightRates = []float64{1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 
 // and scheme, inject, optionally repair, and measure normalized
 // accuracy over cfg.Runs runs.
 func RBERSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult, error) {
-	return sweep(env, rates, schemes, func(inj *faults.Injector, rate float64) error {
-		inj.BitFlips(env.Model, rate)
+	return sweep(env, rates, schemes, func(e *Env, inj *faults.Injector, rate float64) error {
+		inj.BitFlips(e.Model, rate)
 		return nil
 	}, "RBER")
 }
@@ -112,8 +113,8 @@ func RBERSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult, error
 // of a hit weight flipped) — the plaintext-space error model where ECC
 // is not applicable.
 func WholeWeightSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult, error) {
-	return sweep(env, rates, schemes, func(inj *faults.Injector, rate float64) error {
-		inj.WholeWeights(env.Model, rate)
+	return sweep(env, rates, schemes, func(e *Env, inj *faults.Injector, rate float64) error {
+		inj.WholeWeights(e.Model, rate)
 		return nil
 	}, "whole-weight")
 }
@@ -126,38 +127,83 @@ func CiphertextSweep(env *Env, rates []float64, schemes []Scheme) (*SweepResult,
 	for i := range key {
 		key[i] = byte(0x9e ^ i*31)
 	}
-	return sweep(env, rates, schemes, func(inj *faults.Injector, rate float64) error {
-		_, err := inj.CiphertextBitFlips(env.Model, rate, key)
+	return sweep(env, rates, schemes, func(e *Env, inj *faults.Injector, rate float64) error {
+		_, err := inj.CiphertextBitFlips(e.Model, rate, key)
 		return err
 	}, "ciphertext")
 }
 
-func sweep(env *Env, rates []float64, schemes []Scheme, inject func(*faults.Injector, float64) error, name string) (*SweepResult, error) {
+// sweep runs the rates × schemes × runs campaign grid. Each cell is
+// independent — reset, inject with a seed derived only from the cell's
+// (rate, run) coordinates, repair per the scheme, measure — so cells
+// shard across environment clones (Config.Workers) with bit-identical
+// results at every worker count.
+// The inject callback receives the cell's environment — never capture
+// the campaign's master env in an injector, or sharded cells would
+// corrupt the master while measuring their clone.
+func sweep(env *Env, rates []float64, schemes []Scheme, inject func(*Env, *faults.Injector, float64) error, name string) (*SweepResult, error) {
+	type cellResult struct {
+		acc     float64
+		covered bool
+	}
+	nS, runs := len(schemes), env.Config.Runs
+	cells := make([]cellResult, len(rates)*nS*runs)
+	// One completion counter per (rate, scheme) point: whichever worker
+	// finishes a point's last cell logs it, so progress streams during
+	// the campaign (serial runs log in exactly the historical order).
+	pointDone := make([]atomic.Int32, len(rates)*nS)
+	logPoint := func(pi int) {
+		ri, si := pi/nS, pi%nS
+		vals := make([]float64, runs)
+		for run := 0; run < runs; run++ {
+			vals[run] = cells[pi*runs+run].acc
+		}
+		env.Config.logf("  [%s %s] rate %.0e: median %.3f (n=%d)", name, schemes[si], rates[ri],
+			ComputeBoxStats(vals).Median, len(vals))
+	}
+	err := env.forEachCell(len(cells), func(e *Env, idx int) error {
+		ri := idx / (nS * runs)
+		si := (idx / runs) % nS
+		run := idx % runs
+		if err := e.Reset(); err != nil {
+			return err
+		}
+		// The injection seed ignores the scheme on purpose: every scheme
+		// at a given (rate, run) faces the identical error pattern, as in
+		// the paper's controlled comparison.
+		inj := faults.New(runSeed(e.Config.Seed, ri, run))
+		if err := inject(e, inj, rates[ri]); err != nil {
+			return err
+		}
+		covered, err := applyScheme(e, schemes[si])
+		if err != nil {
+			return err
+		}
+		acc, err := e.NormalizedAccuracy()
+		if err != nil {
+			return err
+		}
+		cells[idx] = cellResult{acc: acc, covered: covered}
+		pi := ri*nS + si
+		if int(pointDone[pi].Add(1)) == runs {
+			logPoint(pi)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	result := &SweepResult{Name: name}
 	for ri, rate := range rates {
-		for _, scheme := range schemes {
-			vals := make([]float64, 0, env.Config.Runs)
+		for si, scheme := range schemes {
+			vals := make([]float64, 0, runs)
 			detectedAll := 0
-			for run := 0; run < env.Config.Runs; run++ {
-				if err := env.Reset(); err != nil {
-					return nil, err
-				}
-				inj := faults.New(runSeed(env.Config.Seed, ri, run))
-				if err := inject(inj, rate); err != nil {
-					return nil, err
-				}
-				covered, err := applyScheme(env, scheme)
-				if err != nil {
-					return nil, err
-				}
-				if covered {
+			for run := 0; run < runs; run++ {
+				c := cells[(ri*nS+si)*runs+run]
+				vals = append(vals, c.acc)
+				if c.covered {
 					detectedAll++
 				}
-				acc, err := env.NormalizedAccuracy()
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, acc)
 			}
 			result.Points = append(result.Points, SweepPoint{
 				Rate:        rate,
@@ -165,12 +211,7 @@ func sweep(env *Env, rates []float64, schemes []Scheme, inject func(*faults.Inje
 				Stats:       ComputeBoxStats(vals),
 				DetectedAll: detectedAll,
 			})
-			env.Config.logf("  [%s %s] rate %.0e: median %.3f (n=%d)", name, scheme, rate,
-				result.Points[len(result.Points)-1].Stats.Median, len(vals))
 		}
-	}
-	if err := env.Reset(); err != nil {
-		return nil, err
 	}
 	return result, nil
 }
@@ -223,14 +264,20 @@ type LayerRow struct {
 
 // WholeLayerTable corrupts each parameterized layer in turn (every value
 // replaced with a fresh random one), measures the damage, self-heals,
-// and measures recovery.
+// and measures recovery. The per-layer trials are independent cells and
+// shard across environment clones (Config.Workers).
 func WholeLayerTable(env *Env) ([]LayerRow, error) {
-	var rows []LayerRow
 	info := env.Protector.PlanInfo()
+	// Label pass first (cheap, order-dependent counters), cells second.
+	type layerCell struct {
+		li      int
+		label   string
+		partial bool
+	}
+	var cellDefs []layerCell
 	convN, denseN := -1, -1
 	for li, l := range env.Model.Layers() {
-		p, ok := l.(nn.Parameterized)
-		if !ok {
+		if _, ok := l.(nn.Parameterized); !ok {
 			continue
 		}
 		var label string
@@ -250,29 +297,34 @@ func WholeLayerTable(env *Env) ([]LayerRow, error) {
 				label = numbered("Dense", denseN) + " Bias"
 			}
 		}
-		if err := env.Reset(); err != nil {
-			return nil, err
-		}
-		faults.New(runSeed(env.Config.Seed, li, 7)).OverwriteLayer(p)
-		noneAcc, err := env.NormalizedAccuracy()
-		if err != nil {
-			return nil, err
-		}
-		_, rec, err := env.Protector.SelfHeal()
-		if err != nil {
-			return nil, err
-		}
-		milrAcc, err := env.NormalizedAccuracy()
-		if err != nil {
-			return nil, err
-		}
 		partial := info[li].Role == "conv" && info[li].PartialMode
-		_ = rec
-		rows = append(rows, LayerRow{Label: label, NoneAcc: noneAcc, MILRAcc: milrAcc, Partial: partial})
-		env.Config.logf("  [layer %s] none %.3f, MILR %.3f%s", label, noneAcc, milrAcc,
-			map[bool]string{true: " (partial)", false: ""}[partial])
+		cellDefs = append(cellDefs, layerCell{li: li, label: label, partial: partial})
 	}
-	if err := env.Reset(); err != nil {
+	rows := make([]LayerRow, len(cellDefs))
+	err := env.forEachCell(len(cellDefs), func(e *Env, idx int) error {
+		cell := cellDefs[idx]
+		if err := e.Reset(); err != nil {
+			return err
+		}
+		p := e.Model.Layer(cell.li).(nn.Parameterized)
+		faults.New(runSeed(e.Config.Seed, cell.li, 7)).OverwriteLayer(p)
+		noneAcc, err := e.NormalizedAccuracy()
+		if err != nil {
+			return err
+		}
+		if _, _, err := e.Protector.SelfHeal(); err != nil {
+			return err
+		}
+		milrAcc, err := e.NormalizedAccuracy()
+		if err != nil {
+			return err
+		}
+		rows[idx] = LayerRow{Label: cell.label, NoneAcc: noneAcc, MILRAcc: milrAcc, Partial: cell.partial}
+		env.Config.logf("  [layer %s] none %.3f, MILR %.3f%s", cell.label, noneAcc, milrAcc,
+			map[bool]string{true: " (partial)", false: ""}[cell.partial])
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return rows, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"milr/internal/par"
 	"milr/internal/prng"
 	"milr/internal/tensor"
 )
@@ -89,46 +90,61 @@ func (pr *Protector) densePartialCheckpoint(lp *layerPlan) (*tensor.Tensor, erro
 // and the output is compared with the stored partial checkpoint. The
 // scheme is lightweight by design, and like the paper's it only flags
 // errors "significant enough to detect" (§V-B).
+//
+// With Options.Workers set, independent layers scrub concurrently on a
+// bounded pool; findings are assembled in layer order, so the report is
+// identical to the serial one.
 func (pr *Protector) Detect() (*DetectionReport, error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.detectLocked()
+}
+
+func (pr *Protector) detectLocked() (*DetectionReport, error) {
+	slots := make([]*LayerFinding, len(pr.plan.layers))
+	err := par.ForErr(len(pr.plan.layers), pr.opts.workerPool(), func(i int) error {
+		finding, err := pr.detectLayer(pr.plan.layers[i])
+		if err != nil {
+			return err
+		}
+		slots[i] = finding
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	report := &DetectionReport{}
-	for _, lp := range pr.plan.layers {
-		switch lp.role {
-		case roleConv:
-			finding, err := pr.detectConv(lp)
-			if err != nil {
-				return nil, err
-			}
-			if finding != nil {
-				report.Findings = append(report.Findings, *finding)
-			}
-		case roleDense:
-			finding, err := pr.detectDense(lp)
-			if err != nil {
-				return nil, err
-			}
-			if finding != nil {
-				report.Findings = append(report.Findings, *finding)
-			}
-		case roleBias:
-			sum := lp.bias.Params().Sum()
-			if relMismatch(sum, lp.biasSum, pr.opts.DetectTol) {
-				report.Findings = append(report.Findings, LayerFinding{
-					Layer:       lp.idx,
-					Name:        pr.model.Layer(lp.idx).Name(),
-					SumMismatch: true,
-				})
-			}
-		case roleAffine:
-			finding, err := pr.detectAffine(lp)
-			if err != nil {
-				return nil, err
-			}
-			if finding != nil {
-				report.Findings = append(report.Findings, *finding)
-			}
+	for _, finding := range slots {
+		if finding != nil {
+			report.Findings = append(report.Findings, *finding)
 		}
 	}
 	return report, nil
+}
+
+// detectLayer scrubs one layer. It only reads model parameters and
+// stored checkpoints, so independent layers can run concurrently.
+func (pr *Protector) detectLayer(lp *layerPlan) (*LayerFinding, error) {
+	switch lp.role {
+	case roleConv:
+		return pr.detectConv(lp)
+	case roleDense:
+		return pr.detectDense(lp)
+	case roleBias:
+		sum := lp.bias.Params().Sum()
+		if relMismatch(sum, lp.biasSum, pr.opts.DetectTol) {
+			return &LayerFinding{
+				Layer:       lp.idx,
+				Name:        pr.model.Layer(lp.idx).Name(),
+				SumMismatch: true,
+			}, nil
+		}
+		return nil, nil
+	case roleAffine:
+		return pr.detectAffine(lp)
+	default:
+		return nil, nil
+	}
 }
 
 func (pr *Protector) detectConv(lp *layerPlan) (*LayerFinding, error) {

@@ -92,17 +92,17 @@ func (g *Guard) run() {
 	}
 }
 
-// scrub performs one detect(+recover) cycle.
+// scrub performs one detect(+recover) cycle. SelfHeal runs both phases
+// under one engine lock, so Sync-routed mutation cannot land between
+// detection and the recovery acting on its report.
 func (g *Guard) scrub() {
 	start := time.Now()
-	det, err := g.pr.Detect()
-	ev := GuardEvent{Detection: det}
-	var rec *RecoveryReport
-	if err == nil && det.HasErrors() {
-		rec, err = g.pr.Recover(det)
-		ev.Recovery = rec
+	det, rec, err := g.pr.SelfHeal()
+	ev := GuardEvent{Detection: det, Err: err}
+	if det == nil || !det.HasErrors() {
+		rec = nil // a clean scrub performed no recovery
 	}
-	ev.Err = err
+	ev.Recovery = rec
 	ev.Elapsed = time.Since(start)
 
 	g.mu.Lock()

@@ -68,8 +68,10 @@ func fromPersistedTensor(p persistedTensor) (*tensor.Tensor, error) {
 }
 
 // Save writes the protector's stored state (the paper's error-resistant
-// storage contents) to w.
+// storage contents) to w. Safe to call while a Guard is scrubbing.
 func (pr *Protector) Save(w io.Writer) error {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
 	st := persistedState{
 		Version:    persistVersion,
 		Opts:       pr.opts,

@@ -67,6 +67,24 @@ type Options struct {
 	// probe that decides whether a conv layer's golden-input system has
 	// full column rank (whole-filter recovery) or not (partial mode).
 	RankTol float64
+	// Workers bounds the worker pool used by detection (independent
+	// layers scrub concurrently) and recovery (independent filters,
+	// parameter columns, and inversion positions solve concurrently).
+	// 0 keeps the serial path, n > 0 uses at most n goroutines, and a
+	// negative value resolves to GOMAXPROCS. Every parallel path is
+	// bit-identical to the serial one, so this is purely a throughput
+	// knob.
+	Workers int
+}
+
+// workerPool translates Options.Workers into the convention of
+// par.Resolve: the serial default maps to 1, negative to the
+// GOMAXPROCS sentinel.
+func (o Options) workerPool() int {
+	if o.Workers == 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // DefaultOptions returns the configuration used throughout the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"milr/internal/linalg"
 	"milr/internal/nn"
@@ -28,6 +29,13 @@ type Protector struct {
 	model *nn.Model
 	plan  *plan
 	opts  Options
+
+	// mu serializes the engine's phases (Detect, Recover, Save, …)
+	// against each other and against external weight mutation routed
+	// through Sync. It makes concurrent scrub cycles and concurrent
+	// fault injection race-free; the engine's *internal* parallelism
+	// (Options.Workers) runs inside the lock.
+	mu sync.Mutex
 }
 
 // NewProtector runs MILR's initialization phase on a model: it plans the
@@ -51,7 +59,31 @@ func NewProtector(m *nn.Model, opts Options) (*Protector, error) {
 func (pr *Protector) Model() *nn.Model { return pr.model }
 
 // Options returns the active configuration.
-func (pr *Protector) Options() Options { return pr.opts }
+func (pr *Protector) Options() Options {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.opts
+}
+
+// SetWorkers retunes the engine's worker pool (see Options.Workers) on
+// a live protector. Safe to call while a Guard is scrubbing.
+func (pr *Protector) SetWorkers(n int) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.opts.Workers = n
+}
+
+// Sync runs fn while holding the engine lock. It is the mutation gate
+// for everything outside the engine that writes the protected model's
+// parameters — fault injectors, trainers, live weight updates. Routing
+// writes through Sync makes them race-free against concurrent Detect,
+// Recover, and Guard scrub cycles (the paper's deployment story: errors
+// strike *between* scrubs; a scrub observes a consistent snapshot).
+func (pr *Protector) Sync(fn func()) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	fn()
+}
 
 // initialize computes every stored artifact.
 func (pr *Protector) initialize() error {
@@ -235,6 +267,8 @@ func (pr *Protector) invertLayer(j int, out *tensor.Tensor) (*tensor.Tensor, err
 // because recovery refreshes the codes against the (float-rounded)
 // recovered parameters.
 func (pr *Protector) ResetCRC() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
 	for _, lp := range pr.plan.layers {
 		if lp.crcsClean != nil {
 			lp.crcs = lp.crcsClean

@@ -71,6 +71,16 @@ func (r *RecoveryReport) AllRecovered() bool {
 // tensors themselves pass through erroneous parameters and recovery
 // accuracy degrades, reproducing the paper's high-RBER outliers.
 func (pr *Protector) Recover(report *DetectionReport) (*RecoveryReport, error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.recoverLocked(report)
+}
+
+// recoverLocked requires pr.mu. Layers recover sequentially — golden
+// tensors move *through* neighbouring layers, so cross-layer order is
+// semantic — but within a layer the independent filters, parameter
+// columns, and inversion positions solve on the engine's worker pool.
+func (pr *Protector) recoverLocked(report *DetectionReport) (*RecoveryReport, error) {
 	out := &RecoveryReport{}
 	findings := make([]LayerFinding, len(report.Findings))
 	copy(findings, report.Findings)
@@ -99,16 +109,20 @@ func (pr *Protector) Recover(report *DetectionReport) (*RecoveryReport, error) {
 	return out, nil
 }
 
-// SelfHeal runs detection and, when errors are found, recovery.
+// SelfHeal runs detection and, when errors are found, recovery — as one
+// atomic cycle: external mutation routed through Sync cannot land
+// between the two phases.
 func (pr *Protector) SelfHeal() (*DetectionReport, *RecoveryReport, error) {
-	det, err := pr.Detect()
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	det, err := pr.detectLocked()
 	if err != nil {
 		return nil, nil, err
 	}
 	if !det.HasErrors() {
 		return det, &RecoveryReport{}, nil
 	}
-	rec, err := pr.Recover(det)
+	rec, err := pr.recoverLocked(det)
 	if err != nil {
 		return det, nil, err
 	}
@@ -260,6 +274,8 @@ func (pr *Protector) recoverBias(lp *layerPlan) (RecoveryResult, error) {
 // regardless of detection state — used by the whole-layer corruption
 // experiments, where detection is trivially positive, and by tests.
 func (pr *Protector) RecoverAll() (*RecoveryReport, error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
 	report := &DetectionReport{}
 	for _, lp := range pr.plan.layers {
 		switch lp.role {
@@ -285,7 +301,7 @@ func (pr *Protector) RecoverAll() (*RecoveryReport, error) {
 			report.Findings = append(report.Findings, LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Columns: all})
 		}
 	}
-	return pr.Recover(report)
+	return pr.recoverLocked(report)
 }
 
 // Boundaries returns the checkpoint boundary positions (layer-input
@@ -300,6 +316,8 @@ func (pr *Protector) Boundaries() []int {
 // GoldenPair exposes the golden input/output tensors MILR would use to
 // recover layer i. Exposed for tests and the inspection tool.
 func (pr *Protector) GoldenPair(i int) (in, out *tensor.Tensor, err error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
 	if i < 0 || i >= pr.model.NumLayers() {
 		return nil, nil, fmt.Errorf("core: layer %d out of range", i)
 	}

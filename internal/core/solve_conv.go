@@ -7,6 +7,7 @@ import (
 	"milr/internal/crc2d"
 	"milr/internal/linalg"
 	"milr/internal/nn"
+	"milr/internal/par"
 	"milr/internal/prng"
 	"milr/internal/tensor"
 )
@@ -121,7 +122,9 @@ func convRefreshCRC(lp *layerPlan, group int) error {
 
 // solveConvFull re-solves whole filters from the golden input/output
 // pair. Only the filters listed are touched; one QR factorization of the
-// im2col matrix serves them all.
+// im2col matrix serves them all, and the per-filter solves — independent
+// right-hand sides against a read-only factorization, writing disjoint
+// weight entries — run on the engine's worker pool.
 func solveConvFull(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, filters []int, opts Options) error {
 	c := lp.conv
 	a, err := lowerF64(c, goldenIn)
@@ -142,11 +145,12 @@ func solveConvFull(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, filters []
 		return fmt.Errorf("core: conv %q golden output has %d values, want %d", c.Name(), goldenOut.NumElements(), a.Rows*y)
 	}
 	w := c.Params().Data()
-	rhs := make([]float64, a.Rows)
-	for _, k := range filters {
+	return par.ForErr(len(filters), opts.workerPool(), func(fi int) error {
+		k := filters[fi]
 		if k < 0 || k >= y {
 			return fmt.Errorf("core: conv %q filter %d out of range [0,%d)", c.Name(), k, y)
 		}
+		rhs := make([]float64, a.Rows)
 		for g := 0; g < a.Rows; g++ {
 			rhs[g] = float64(od[g*y+k])
 		}
@@ -160,8 +164,8 @@ func solveConvFull(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, filters []
 				w[t*y+k] = float32(x[t])
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // solveConvSelective solves only the CRC-localized suspect taps per
@@ -187,21 +191,29 @@ func solveConvSelective(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, suspe
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	rhs := make([]float64, a.Rows)
-	for _, k := range keys {
+	// Independent filters solve concurrently: filter k only reads and
+	// writes column k of the weight matrix (w[t*y+k]), so the writes
+	// are disjoint and the per-filter outcomes independent of worker
+	// count. Outcomes land in per-filter slots; the exact/approximate
+	// tallies are summed in key order afterwards.
+	uniqueSlot := make([]bool, len(keys))
+	solvedSlot := make([]bool, len(keys))
+	err = par.ForErr(len(keys), opts.workerPool(), func(ki int) error {
+		k := keys[ki]
 		e := suspects[k]
 		if len(e) == 0 {
-			continue
+			return nil
 		}
 		inE := make(map[int]bool, len(e))
 		for _, t := range e {
 			if t < 0 || t >= taps {
-				return exact, approximate, fmt.Errorf("core: conv %q tap %d out of range [0,%d)", c.Name(), t, taps)
+				return fmt.Errorf("core: conv %q tap %d out of range [0,%d)", c.Name(), t, taps)
 			}
 			inE[t] = true
 		}
 		// Residual: golden output minus the contribution of taps assumed
 		// correct.
+		rhs := make([]float64, a.Rows)
 		for g := 0; g < a.Rows; g++ {
 			acc := float64(od[g*y+k])
 			row := a.Row(g)
@@ -214,7 +226,7 @@ func solveConvSelective(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, suspe
 		}
 		sub, err := a.SelectColumns(e)
 		if err != nil {
-			return exact, approximate, err
+			return err
 		}
 		unique := len(e) <= a.Rows
 		x, err := linalg.LeastSquares(sub, rhs)
@@ -224,7 +236,7 @@ func solveConvSelective(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, suspe
 			// least-squares best effort.
 			x, err = linalg.RidgeSolve(sub, rhs)
 			if err != nil {
-				return exact, approximate, fmt.Errorf("core: conv %q selective solve filter %d: %w", c.Name(), k, err)
+				return fmt.Errorf("core: conv %q selective solve filter %d: %w", c.Name(), k, err)
 			}
 			unique = false
 		}
@@ -234,7 +246,18 @@ func solveConvSelective(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor, suspe
 				w[t*y+k] = float32(x[i])
 			}
 		}
-		if unique {
+		uniqueSlot[ki] = unique
+		solvedSlot[ki] = true
+		return nil
+	})
+	if err != nil {
+		return exact, approximate, err
+	}
+	for ki := range keys {
+		if !solvedSlot[ki] {
+			continue
+		}
+		if uniqueSlot[ki] {
 			exact++
 		} else {
 			approximate++
@@ -290,8 +313,11 @@ func (pr *Protector) invertConv(lp *layerPlan, out *tensor.Tensor) (*tensor.Tens
 	}
 	subregions := tensor.New(g2, taps)
 	sd := subregions.Data()
-	rhs := make([]float64, rows)
-	for g := 0; g < g2; g++ {
+	// Each output position is an independent solve against the shared
+	// read-only factorization, writing its own sub-region row — the
+	// per-position loop fans out on the engine's worker pool.
+	err = par.ForErr(g2, pr.opts.workerPool(), func(g int) error {
+		rhs := make([]float64, rows)
 		for k := 0; k < y; k++ {
 			rhs[k] = float64(od[g*y+k])
 		}
@@ -300,11 +326,15 @@ func (pr *Protector) invertConv(lp *layerPlan, out *tensor.Tensor) (*tensor.Tens
 		}
 		x, err := qr.Solve(rhs)
 		if err != nil {
-			return nil, fmt.Errorf("core: conv %q invert position %d: %w", c.Name(), g, err)
+			return fmt.Errorf("core: conv %q invert position %d: %w", c.Name(), g, err)
 		}
 		for t := 0; t < taps; t++ {
 			sd[g*taps+t] = float32(x[t])
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	inShape := c.InShape()
 	if inShape == nil || len(inShape) != 3 {

@@ -6,6 +6,7 @@ import (
 
 	"milr/internal/linalg"
 	"milr/internal/nn"
+	"milr/internal/par"
 	"milr/internal/prng"
 	"milr/internal/tensor"
 )
@@ -100,16 +101,21 @@ func denseDummyOutputs(d *nn.Dense, seed, tag uint64, band int) (*tensor.Tensor,
 // upper-triangular system A_dummy·x = C_dummy[:,j] is solved by back
 // substitution. Entries within KeepTol of the stored value keep the
 // stored bits to avoid float churn in correct weights.
+//
+// Columns are independent systems — column j reads C_dummy[:,j] and
+// writes w[:,j] only — so they solve concurrently on the engine's
+// worker pool with results identical to the sequential loop.
 func solveDenseColumns(lp *layerPlan, cols []int, opts Options) error {
 	d := lp.dense
 	n, p := d.In(), d.Out()
 	w := d.Params().Data()
 	cd := lp.denseDummyOut.Data()
-	x := make([]float64, n)
-	for _, j := range cols {
+	return par.ForErr(len(cols), opts.workerPool(), func(ci int) error {
+		j := cols[ci]
 		if j < 0 || j >= p {
 			return fmt.Errorf("core: dense column %d out of range [0,%d)", j, p)
 		}
+		x := make([]float64, n)
 		for i := n - 1; i >= 0; i-- {
 			rcols, rvals := denseDummyRow(opts.Seed, lp.denseTag, i, n, opts.DenseBand)
 			acc := float64(cd[i*p+j])
@@ -124,8 +130,8 @@ func solveDenseColumns(lp *layerPlan, cols []int, opts Options) error {
 				w[i*p+j] = float32(x[i])
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // invertDense computes the input A from output C when P ≥ N: each row of

@@ -1,0 +1,56 @@
+package ecc
+
+import "testing"
+
+// FuzzSECDEDEncodeDecode pins the (39,32) code's contract on arbitrary
+// words: a clean word decodes unchanged with OK; any single flipped bit
+// (data or check) is corrected back to the original; any two flipped
+// data bits are detected as uncorrectable and the word left alone.
+func FuzzSECDEDEncodeDecode(f *testing.F) {
+	f.Add(uint32(0), uint8(0), uint8(1))
+	f.Add(uint32(0xffffffff), uint8(31), uint8(7))
+	f.Add(uint32(0x3f800000), uint8(12), uint8(30))
+	f.Add(uint32(0xdeadbeef), uint8(5), uint8(5))
+	f.Fuzz(func(t *testing.T, word uint32, bitA, bitB uint8) {
+		check := Encode(word)
+
+		// Clean: decode is the identity.
+		got, status := Decode(word, check)
+		if status != OK || got != word {
+			t.Fatalf("clean decode: got %#x status %v", got, status)
+		}
+
+		// Single data-bit error: corrected.
+		a := uint(bitA % 32)
+		flipped := word ^ (1 << a)
+		got, status = Decode(flipped, check)
+		if status != Corrected || got != word {
+			t.Fatalf("single-bit flip at %d: got %#x status %v, want %#x corrected", a, got, status, word)
+		}
+
+		// Single check-bit error: the data word must survive untouched.
+		for cb := 0; cb < 7; cb++ {
+			badCheck := check ^ (1 << cb)
+			got, status = Decode(word, badCheck)
+			if got != word {
+				t.Fatalf("check-bit flip %d corrupted data: %#x (status %v)", cb, got, status)
+			}
+			if status == DetectedUncorrectable {
+				t.Fatalf("check-bit flip %d reported uncorrectable", cb)
+			}
+		}
+
+		// Double data-bit error: detected, not "corrected" into silence.
+		b := uint(bitB % 32)
+		if a != b {
+			doubly := word ^ (1 << a) ^ (1 << b)
+			got, status = Decode(doubly, check)
+			if status != DetectedUncorrectable {
+				t.Fatalf("double flip %d,%d: status %v (got %#x), want detected-uncorrectable", a, b, status, got)
+			}
+			if got != doubly {
+				t.Fatalf("double flip %d,%d: word mutated to %#x", a, b, got)
+			}
+		}
+	})
+}

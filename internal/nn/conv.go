@@ -35,6 +35,7 @@ func (p Padding) String() string {
 type Conv2D struct {
 	named
 	sgdParam
+	gemmWorkers
 
 	f, z, y int
 	stride  int
@@ -45,6 +46,7 @@ type Conv2D struct {
 var (
 	_ Parameterized = (*Conv2D)(nil)
 	_ ShapeAware    = (*Conv2D)(nil)
+	_ WorkerTunable = (*Conv2D)(nil)
 )
 
 // NewConv2D creates a convolution layer. Weights start at zero; use an
@@ -134,24 +136,32 @@ func (c *Conv2D) weightsMatrix() *tensor.Tensor {
 // G² rows, F²Z columns. The MILR engine uses the same lowering to build
 // its parameter-recovery system of equations.
 func (c *Conv2D) Lower(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.lowerWorkers(in, 1)
+}
+
+// lowerWorkers is Lower on a bounded worker pool; identical output.
+func (c *Conv2D) lowerWorkers(in *tensor.Tensor, workers int) (*tensor.Tensor, error) {
 	padded, err := tensor.Pad2D(in, c.Pad())
 	if err != nil {
 		return nil, fmt.Errorf("conv %q: %w", c.name, err)
 	}
-	return tensor.Im2Col(padded, c.f, c.stride)
+	return tensor.Im2ColWorkers(padded, c.f, c.stride, workers)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. With a worker count set (SetWorkers) the
+// im2col lowering and the GEMM run on a bounded pool; the pooled
+// kernels are bit-identical to the serial ones.
 func (c *Conv2D) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	outShape, err := c.OutShape(in.Shape())
 	if err != nil {
 		return nil, err
 	}
-	cols, err := c.Lower(in)
+	workers := c.pool()
+	cols, err := c.lowerWorkers(in, workers)
 	if err != nil {
 		return nil, err
 	}
-	flat, err := tensor.MatMul(cols, c.weightsMatrix())
+	flat, err := tensor.MatMulWorkers(cols, c.weightsMatrix(), workers)
 	if err != nil {
 		return nil, fmt.Errorf("conv %q: %w", c.name, err)
 	}

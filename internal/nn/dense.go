@@ -12,11 +12,15 @@ import (
 type Dense struct {
 	named
 	sgdParam
+	gemmWorkers
 
 	n, p int
 }
 
-var _ Parameterized = (*Dense)(nil)
+var (
+	_ Parameterized = (*Dense)(nil)
+	_ WorkerTunable = (*Dense)(nil)
+)
 
 // NewDense creates a dense layer mapping N inputs to P outputs.
 func NewDense(n, p int) (*Dense, error) {
@@ -42,12 +46,14 @@ func (d *Dense) OutShape(in tensor.Shape) (tensor.Shape, error) {
 	return tensor.Shape{in[0], d.p}, nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer. With a worker count set (SetWorkers) the
+// GEMM runs on a bounded pool — partitioned by output columns for the
+// single-row inference shape — with bit-identical results.
 func (d *Dense) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	if _, err := d.OutShape(in.Shape()); err != nil {
 		return nil, err
 	}
-	out, err := tensor.MatMul(in, d.w)
+	out, err := tensor.MatMulWorkers(in, d.w, d.pool())
 	if err != nil {
 		return nil, fmt.Errorf("dense %q: %w", d.name, err)
 	}

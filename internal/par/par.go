@@ -1,0 +1,132 @@
+// Package par provides the bounded worker pools behind every parallel
+// path in this repository: batched GEMM inference, concurrent layer
+// scrubbing and recovery, and sharded fault-injection campaigns.
+//
+// Design rules, enforced here once so callers inherit them:
+//
+//   - Pools are bounded: a zero/negative worker request resolves to
+//     GOMAXPROCS, never more. Explicit positive requests are honored
+//     as-is so tests can inject worker counts (e.g. 2 on a 1-core CI
+//     box) and prove parallel–serial equivalence.
+//   - Pools are joined: every function returns only after all workers
+//     have exited. No goroutine outlives the call.
+//   - Results are deterministic: work is addressed by index, errors are
+//     reported lowest-index-first, and nothing depends on scheduling
+//     order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve returns the effective worker count for n independent work
+// items: `requested` when positive, otherwise GOMAXPROCS, and never more
+// than n (a worker per item is the finest useful granularity). n <= 0
+// resolves to 1 so callers can always divide by the result.
+func Resolve(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Blocks partitions [0,n) into `workers` contiguous blocks and runs
+// fn(lo,hi) for each block concurrently. Static partitioning keeps each
+// worker's memory walk contiguous — the right shape for blocked GEMM.
+// With workers <= 1 (after Resolve) fn runs inline on the caller's
+// goroutine.
+func Blocks(n, workers int, fn func(lo, hi int)) {
+	workers = Resolve(workers, n)
+	if n <= 0 {
+		return
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0,n) on a bounded pool with dynamic
+// (work-stealing) assignment — the right shape when per-item cost is
+// uneven, e.g. per-filter recovery solves. With workers <= 1 it runs
+// inline.
+func For(n, workers int, fn func(i int)) {
+	workers = Resolve(workers, n)
+	if n <= 0 {
+		return
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection. All items run (no early abort —
+// the work is side-effect-bearing and partial completion must stay
+// well-defined); the error with the lowest index is returned so the
+// caller sees the same error regardless of worker count.
+func ForErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if Resolve(workers, n) == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	For(n, workers, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

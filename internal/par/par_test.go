@@ -1,0 +1,101 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, maxprocs},
+		{-3, 100, maxprocs},
+		{2, 100, 2},
+		{8, 3, 3},
+		{4, 0, 4},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.requested, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.requested, c.n, got, c.want)
+		}
+	}
+}
+
+func TestBlocksCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		n := 101
+		hits := make([]int32, n)
+		Blocks(n, workers, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("workers=%d: bad block [%d,%d)", workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		n := 57
+		hits := make([]int32, n)
+		For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForErr(20, workers, func(i int) error {
+			if i == 7 || i == 13 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7" {
+			t.Errorf("workers=%d: got %v, want item 7", workers, err)
+		}
+	}
+	if err := ForErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestForErrRunsAllItemsDespiteErrors(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	_ = ForErr(30, 4, func(i int) error {
+		ran.Add(1)
+		if i%2 == 0 {
+			return boom
+		}
+		return nil
+	})
+	if ran.Load() != 30 {
+		t.Errorf("ran %d of 30 items", ran.Load())
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	Blocks(0, 4, func(lo, hi int) { t.Error("called") })
+	For(0, 4, func(int) { t.Error("called") })
+	if err := ForErr(0, 4, func(int) error { return errors.New("x") }); err != nil {
+		t.Error(err)
+	}
+}

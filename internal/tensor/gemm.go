@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"fmt"
+
+	"milr/internal/par"
+)
+
+// Blocked, pool-parallel GEMM. The serial MatMul and the parallel
+// MatMulWorkers share the same per-element kernels, and every partition
+// below (contiguous row bands, contiguous column bands) preserves the
+// exact float64 accumulation order of the serial ikj loop for each
+// output element. Parallel results are therefore bit-identical to
+// serial ones at any worker count — the property MILR needs, since its
+// detection checkpoints compare float outputs against stored values.
+
+// matmulRows computes rows [lo,hi) of C = A·B with the ikj kernel:
+// per-row float64 accumulator, k ascending, B walked contiguously.
+func matmulRows(ad, bd, cd []float32, lo, hi, n, p int) {
+	acc := make([]float64, p)
+	for i := lo; i < hi; i++ {
+		arow := ad[i*n : (i+1)*n]
+		crow := cd[i*p : (i+1)*p]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			av := float64(arow[k])
+			if av == 0 {
+				continue
+			}
+			brow := bd[k*p : (k+1)*p]
+			for j := 0; j < p; j++ {
+				acc[j] += av * float64(brow[j])
+			}
+		}
+		for j := 0; j < p; j++ {
+			crow[j] = float32(acc[j])
+		}
+	}
+}
+
+// matmulCols computes columns [jlo,jhi) of every row of C = A·B. The
+// per-element accumulation order (k ascending) is identical to
+// matmulRows, so splitting by columns is numerically equivalent to
+// splitting by rows. Used when A has too few rows to feed the pool —
+// dense inference is a (1,N)·(N,P) product.
+func matmulCols(ad, bd, cd []float32, m, n, p, jlo, jhi int) {
+	width := jhi - jlo
+	acc := make([]float64, width)
+	for i := 0; i < m; i++ {
+		arow := ad[i*n : (i+1)*n]
+		for j := range acc {
+			acc[j] = 0
+		}
+		for k := 0; k < n; k++ {
+			av := float64(arow[k])
+			if av == 0 {
+				continue
+			}
+			brow := bd[k*p+jlo : k*p+jhi]
+			for j := 0; j < width; j++ {
+				acc[j] += av * float64(brow[j])
+			}
+		}
+		crow := cd[i*p+jlo : i*p+jhi]
+		for j := 0; j < width; j++ {
+			crow[j] = float32(acc[j])
+		}
+	}
+}
+
+// MatMulWorkers computes C = A·B on a bounded worker pool (workers <= 0
+// means GOMAXPROCS; see par.Resolve). The result is bit-identical to
+// MatMul for every worker count. Wide-and-short products are
+// partitioned by columns, everything else by contiguous row bands.
+func MatMulWorkers(a, b *Tensor, workers int) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: matmul requires rank-2 tensors, got %v and %v", a.Shape(), b.Shape())
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	n2, p := b.Dim(0), b.Dim(1)
+	if n != n2 {
+		return nil, fmt.Errorf("tensor: matmul inner dimension mismatch %v x %v", a.Shape(), b.Shape())
+	}
+	c := New(m, p)
+	ad, bd, cd := a.data, b.data, c.data
+	w := par.Resolve(workers, m*p)
+	if w <= 1 {
+		matmulRows(ad, bd, cd, 0, m, n, p)
+		return c, nil
+	}
+	if m < w && p >= w {
+		par.Blocks(p, w, func(jlo, jhi int) {
+			matmulCols(ad, bd, cd, m, n, p, jlo, jhi)
+		})
+		return c, nil
+	}
+	par.Blocks(m, w, func(lo, hi int) {
+		matmulRows(ad, bd, cd, lo, hi, n, p)
+	})
+	return c, nil
+}
+
+// Im2ColWorkers is Im2Col on a bounded worker pool: the output grid's
+// rows are partitioned into contiguous bands. Pure data movement, so
+// the result is trivially identical to Im2Col.
+func Im2ColWorkers(padded *Tensor, f, s, workers int) (*Tensor, error) {
+	if padded.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: Im2Col requires (H,W,Z) tensor, got %v", padded.Shape())
+	}
+	h, w, z := padded.Dim(0), padded.Dim(1), padded.Dim(2)
+	if f <= 0 || s <= 0 {
+		return nil, fmt.Errorf("tensor: invalid filter %d or stride %d", f, s)
+	}
+	gh := (h-f)/s + 1
+	gw := (w-f)/s + 1
+	if gh <= 0 || gw <= 0 {
+		return nil, fmt.Errorf("tensor: filter %d too large for input %v", f, padded.Shape())
+	}
+	out := New(gh*gw, f*f*z)
+	par.Blocks(gh, par.Resolve(workers, gh), func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			row := i * gw
+			for j := 0; j < gw; j++ {
+				dst := out.data[row*f*f*z : (row+1)*f*f*z]
+				col := 0
+				for f1 := 0; f1 < f; f1++ {
+					srcOff := ((i*s+f1)*w + j*s) * z
+					copy(dst[col:col+f*z], padded.data[srcOff:srcOff+f*z])
+					col += f * z
+				}
+				row++
+			}
+		}
+	})
+	return out, nil
+}

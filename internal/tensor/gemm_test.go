@@ -1,0 +1,101 @@
+package tensor_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+func randTensor(seed uint64, shape ...int) *tensor.Tensor {
+	return prng.TensorFor(seed, 0xfeed, shape...)
+}
+
+// TestMatMulWorkersBitIdentical is the GEMM half of the parallel–serial
+// equivalence contract: every worker count, every partition shape
+// (tall, square, wide, single-row) must reproduce MatMul bit for bit.
+func TestMatMulWorkersBitIdentical(t *testing.T) {
+	dims := []struct{ m, n, p int }{
+		{1, 64, 100},  // dense inference shape: column partition
+		{3, 17, 5},    // fewer rows than workers
+		{64, 32, 16},  // row partition
+		{100, 1, 100}, // degenerate inner dim
+		{33, 48, 1},   // single output column
+	}
+	counts := []int{0, 1, 2, 3, runtime.GOMAXPROCS(0), 16}
+	for di, d := range dims {
+		a := randTensor(uint64(di)+1, d.m, d.n)
+		b := randTensor(uint64(di)+100, d.n, d.p)
+		want, err := tensor.MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range counts {
+			got, err := tensor.MatMulWorkers(a, b, w)
+			if err != nil {
+				t.Fatalf("dims %v workers %d: %v", d, w, err)
+			}
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("dims %v workers %d: element %d differs: %v vs %v",
+						d, w, i, v, want.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulWorkersShapeErrors(t *testing.T) {
+	a := tensor.New(2, 3)
+	b := tensor.New(4, 2)
+	if _, err := tensor.MatMulWorkers(a, b, 2); err == nil {
+		t.Error("inner-dim mismatch not detected")
+	}
+	if _, err := tensor.MatMulWorkers(tensor.New(2), b, 2); err == nil {
+		t.Error("rank mismatch not detected")
+	}
+}
+
+func TestIm2ColWorkersMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct{ h, w, z, f, s int }{
+		{8, 8, 3, 3, 1},
+		{12, 12, 1, 5, 1},
+		{9, 9, 2, 3, 2},
+	} {
+		in := randTensor(uint64(cfg.h*cfg.f), cfg.h, cfg.w, cfg.z)
+		want, err := tensor.Im2Col(in, cfg.f, cfg.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 7} {
+			got, err := tensor.Im2ColWorkers(in, cfg.f, cfg.s, workers)
+			if err != nil {
+				t.Fatalf("%+v workers=%d: %v", cfg, workers, err)
+			}
+			for i, v := range got.Data() {
+				if v != want.Data()[i] {
+					t.Fatalf("%+v workers=%d: element %d differs", cfg, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatMulWorkers(b *testing.B) {
+	// im2col-shaped product from the CIFAR-large first conv:
+	// (32·32, 3·3·64) × (3·3·64, 64).
+	a := randTensor(1, 1024, 576)
+	w := randTensor(2, 576, 64)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tensor.MatMulWorkers(a, w, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -16,26 +16,10 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("tensor: matmul inner dimension mismatch %v x %v", a.Shape(), b.Shape())
 	}
 	c := New(m, p)
-	ad, bd, cd := a.data, b.data, c.data
-	// ikj loop order keeps the B row walk contiguous.
-	for i := 0; i < m; i++ {
-		arow := ad[i*n : (i+1)*n]
-		crow := cd[i*p : (i+1)*p]
-		acc := make([]float64, p)
-		for k := 0; k < n; k++ {
-			av := float64(arow[k])
-			if av == 0 {
-				continue
-			}
-			brow := bd[k*p : (k+1)*p]
-			for j := 0; j < p; j++ {
-				acc[j] += av * float64(brow[j])
-			}
-		}
-		for j := 0; j < p; j++ {
-			crow[j] = float32(acc[j])
-		}
-	}
+	// ikj loop order keeps the B row walk contiguous; the kernel is
+	// shared with the pool-parallel MatMulWorkers (gemm.go) so the two
+	// paths are bit-identical by construction.
+	matmulRows(a.data, b.data, c.data, 0, m, n, p)
 	return c, nil
 }
 
