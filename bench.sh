@@ -27,6 +27,9 @@ go test ./internal/tensor -bench 'MatMulWorkers' -cpu "$CPUS" -benchtime "$BENCH
 echo "== architecture tables (Tables I–III) =="
 go test . -bench 'BenchmarkTables1to3_Architectures' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
 
+echo "== batch-first inference: stacked GEMM vs per-sample loop (8 samples, MNIST) =="
+go test . -bench 'BenchmarkForward(Batch|Loop)$' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
 echo "== RBER sweep campaign, serial vs sharded (Figure 9 path) =="
 go test . -bench 'BenchmarkRBERSweepWorkers' -benchtime "$BENCHTIME" -run XXX
 

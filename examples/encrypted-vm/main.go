@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -27,12 +28,13 @@ func main() {
 
 func run() error {
 	const seed = 1
+	ctx := context.Background()
 	model, err := milr.NewTinyNet()
 	if err != nil {
 		return err
 	}
 	model.InitWeights(seed)
-	prot, err := milr.Protect(model, seed)
+	prot, err := milr.NewRuntime(milr.WithSeed(seed)).Protect(ctx, model)
 	if err != nil {
 		return err
 	}
@@ -99,7 +101,7 @@ func run() error {
 		stats.Corrected, stats.Uncorrectable)
 
 	// MILR detects the erroneous layer and re-solves its parameters.
-	det, rec, err := prot.SelfHeal()
+	det, rec, err := prot.SelfHealContext(ctx)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,6 +29,8 @@ func main() {
 
 func run() error {
 	const seed = 2026
+	ctx := context.Background()
+	rt := milr.NewRuntime(milr.WithSeed(seed))
 	model, err := milr.NewTinyNet()
 	if err != nil {
 		return err
@@ -36,7 +39,7 @@ func run() error {
 
 	// First boot: initialize MILR and persist its golden data, as if to
 	// SSD or persistent memory.
-	first, err := milr.Protect(model, seed)
+	first, err := rt.Protect(ctx, model)
 	if err != nil {
 		return err
 	}
@@ -52,10 +55,11 @@ func run() error {
 		return err
 	}
 
-	// Start the guard: scrub every 50ms, log every cycle that finds
-	// something.
+	// Start the guard under the service context: scrub every 50ms, log
+	// every cycle that finds something. Cancelling the context ends the
+	// loop (and aborts in-flight cycles layer-atomically).
 	var recoveries atomic.Int64
-	guard, err := milr.NewGuard(prot, milr.GuardConfig{
+	guard, err := rt.Guard(ctx, prot, milr.GuardConfig{
 		Interval: 50 * time.Millisecond,
 		OnEvent: func(ev milr.GuardEvent) {
 			if ev.Recovery != nil {

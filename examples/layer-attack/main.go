@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,12 +25,13 @@ func main() {
 
 func run() error {
 	const seed = 99
+	ctx := context.Background()
 	model, err := milr.NewTinyNet()
 	if err != nil {
 		return err
 	}
 	model.InitWeights(seed)
-	prot, err := milr.Protect(model, seed)
+	prot, err := milr.NewRuntime(milr.WithSeed(seed)).Protect(ctx, model)
 	if err != nil {
 		return err
 	}
@@ -54,7 +56,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		det, rec, err := prot.SelfHeal()
+		det, rec, err := prot.SelfHealContext(ctx)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -27,9 +28,13 @@ func run() error {
 	}
 	model.InitWeights(42)
 
-	// 2. Attach MILR. This runs the initialization phase: checkpoint
-	//    planning, partial checkpoints, dummy outputs, CRC codes.
-	prot, err := milr.Protect(model, 42)
+	// 2. Attach MILR through a Runtime — one value carries the seed and
+	//    worker-pool policy. Protect runs the initialization phase:
+	//    checkpoint planning, partial checkpoints, dummy outputs, CRC
+	//    codes (rank probes parallelize under WithWorkers).
+	ctx := context.Background()
+	rt := milr.NewRuntime(milr.WithSeed(42))
+	prot, err := rt.Protect(ctx, model)
 	if err != nil {
 		return err
 	}
@@ -54,8 +59,9 @@ func run() error {
 	w[5] = math.Float32frombits(^math.Float32bits(w[5]))
 	fmt.Printf("corrupted %s weight 5: %v -> %v\n", victim.Name(), before, w[5])
 
-	// 4. Detect and recover.
-	det, rec, err := prot.SelfHeal()
+	// 4. Detect and recover. The context cancels long cycles
+	//    layer-atomically; Background means run to completion.
+	det, rec, err := prot.SelfHealContext(ctx)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,6 +30,8 @@ func main() {
 
 func run() error {
 	const seed = 7
+	ctx := context.Background()
+	rt := milr.NewRuntime(milr.WithSeed(seed))
 	model, err := milr.NewMNISTNet()
 	if err != nil {
 		return err
@@ -47,13 +50,15 @@ func run() error {
 	}); err != nil {
 		return err
 	}
-	base, err := milr.Evaluate(model, test)
+	// Runtime.Evaluate runs the batch-first path: one stacked GEMM per
+	// conv/dense layer per batch, bit-identical to per-sample inference.
+	base, err := rt.Evaluate(ctx, model, test)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trained in %v, baseline accuracy %.1f%%\n\n", time.Since(start).Round(time.Second), 100*base)
 
-	prot, err := milr.Protect(model, seed)
+	prot, err := rt.Protect(ctx, model)
 	if err != nil {
 		return err
 	}
@@ -63,7 +68,7 @@ func run() error {
 	for _, rate := range []float64{1e-6, 1e-5, 1e-4} {
 		// Without recovery.
 		faults.New(seed+uint64(rate*1e9)).BitFlips(model, rate)
-		raw, err := milr.Evaluate(model, test)
+		raw, err := rt.Evaluate(ctx, model, test)
 		if err != nil {
 			return err
 		}
@@ -73,10 +78,10 @@ func run() error {
 		}
 		prot.ResetCRC()
 		faults.New(seed+uint64(rate*1e9)).BitFlips(model, rate)
-		if _, _, err := prot.SelfHeal(); err != nil {
+		if _, _, err := prot.SelfHealContext(ctx); err != nil {
 			return err
 		}
-		healed, err := milr.Evaluate(model, test)
+		healed, err := rt.Evaluate(ctx, model, test)
 		if err != nil {
 			return err
 		}

@@ -166,6 +166,25 @@ func TestAvailabilityCurveFromEnv(t *testing.T) {
 	}
 }
 
+func TestAvailabilityCurveWorkersRestoresConfig(t *testing.T) {
+	env := tinyEnv(t)
+	pts, err := AvailabilityCurveWorkers(env, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 20 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Availability <= 0 || p.Availability > 1 || p.MinAccuracy < 0 || p.MinAccuracy > 1 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+	if env.Config.Workers != 0 {
+		t.Errorf("worker configuration not restored: %d, want 0", env.Config.Workers)
+	}
+}
+
 func TestCiphertextSweepRuns(t *testing.T) {
 	env := tinyEnv(t)
 	res, err := CiphertextSweep(env, []float64{1e-4}, []Scheme{NoRecovery, MILROnly})

@@ -10,6 +10,7 @@ import (
 	"milr/internal/core"
 	"milr/internal/faults"
 	"milr/internal/nn"
+	"milr/internal/tensor"
 )
 
 // Scheme is a protection strategy under test.
@@ -345,8 +346,10 @@ type TimingResult struct {
 }
 
 // Timing measures single-prediction latency, amortized per-sample
-// prediction cost over the test set, and MILR's error-identification
-// (detection) time.
+// prediction cost over the test set through the batch-first path (one
+// stacked GEMM per conv/dense layer per nn.DefaultEvalBatch samples),
+// and MILR's error-identification (detection) time at the environment's
+// configured worker count.
 func Timing(env *Env) (*TimingResult, error) {
 	if err := env.Reset(); err != nil {
 		return nil, err
@@ -364,10 +367,20 @@ func Timing(env *Env) (*TimingResult, error) {
 		}
 	}
 	single := time.Since(start) / singleReps
-	// Amortized batch: sequential evaluation of the whole test set.
+	// Amortized batch: the whole test set through ForwardBatch in
+	// DefaultEvalBatch-sized chunks.
+	xs := make([]*tensor.Tensor, 0, nn.DefaultEvalBatch)
 	start = time.Now()
-	for _, s := range env.Test {
-		if _, err := env.Model.Forward(s.X); err != nil {
+	for lo := 0; lo < len(env.Test); lo += nn.DefaultEvalBatch {
+		hi := lo + nn.DefaultEvalBatch
+		if hi > len(env.Test) {
+			hi = len(env.Test)
+		}
+		xs = xs[:0]
+		for _, s := range env.Test[lo:hi] {
+			xs = append(xs, s.X)
+		}
+		if _, err := env.Model.ForwardBatch(xs); err != nil {
 			return nil, err
 		}
 	}
@@ -410,8 +423,26 @@ func RecoveryTimeCurve(env *Env, errorCounts []int) ([]RecoveryPoint, error) {
 	return out, nil
 }
 
-// AvailabilityCurve builds the Figure 12 trade-off from measured timings.
+// AvailabilityCurve builds the Figure 12 trade-off from measured
+// timings at the environment's configured worker count (Config.Workers)
+// — Eq. 6's Td and Tr are whatever the parallel engine actually
+// achieves, not the serial assumption.
 func AvailabilityCurve(env *Env, points int) ([]availability.Point, error) {
+	return AvailabilityCurveWorkers(env, points, env.Config.Workers)
+}
+
+// AvailabilityCurveWorkers is AvailabilityCurve with an explicit worker
+// count for the detection/recovery timing measurements: Eq. 6 trades
+// downtime (I·Td + Tr) against accuracy, and parallel detection shrinks
+// Td, shifting the whole curve toward higher availability at equal
+// accuracy. The environment's previous worker configuration is restored
+// before returning.
+func AvailabilityCurveWorkers(env *Env, points, workers int) ([]availability.Point, error) {
+	if workers != env.Config.Workers {
+		prev := env.Config.Workers
+		env.SetWorkers(workers)
+		defer env.SetWorkers(prev)
+	}
 	timing, err := Timing(env)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -95,14 +96,25 @@ func (pr *Protector) densePartialCheckpoint(lp *layerPlan) (*tensor.Tensor, erro
 // bounded pool; findings are assembled in layer order, so the report is
 // identical to the serial one.
 func (pr *Protector) Detect() (*DetectionReport, error) {
-	pr.mu.Lock()
-	defer pr.mu.Unlock()
-	return pr.detectLocked()
+	return pr.DetectContext(context.Background())
 }
 
-func (pr *Protector) detectLocked() (*DetectionReport, error) {
+// DetectContext is Detect with cancellation: the context is checked
+// before each layer scrub, so a cancelled or expired context makes the
+// pass return promptly with ctx's error. Detection never mutates the
+// model, so an aborted pass leaves no partial state behind.
+func (pr *Protector) DetectContext(ctx context.Context) (*DetectionReport, error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.detectLocked(ctx)
+}
+
+func (pr *Protector) detectLocked(ctx context.Context) (*DetectionReport, error) {
 	slots := make([]*LayerFinding, len(pr.plan.layers))
 	err := par.ForErr(len(pr.plan.layers), pr.opts.workerPool(), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		finding, err := pr.detectLayer(pr.plan.layers[i])
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -17,6 +19,7 @@ type Guard struct {
 	pr       *Protector
 	interval time.Duration
 	onEvent  func(GuardEvent)
+	ctx      context.Context
 
 	mu    sync.Mutex
 	stats GuardStats
@@ -60,6 +63,11 @@ type GuardConfig struct {
 	// OnEvent, when non-nil, receives every scrub cycle's outcome. It is
 	// called from the guard goroutine; keep it fast.
 	OnEvent func(GuardEvent)
+	// Context, when non-nil, bounds the guard's lifetime: the scrub loop
+	// exits once it is done, and in-flight scrub cycles are cancelled
+	// through it (layer-atomically — see SelfHealContext). Stop still
+	// works and still blocks until the goroutine has exited.
+	Context context.Context
 }
 
 // NewGuard starts the scrub loop. Call Stop to shut it down.
@@ -67,10 +75,15 @@ func NewGuard(pr *Protector, cfg GuardConfig) (*Guard, error) {
 	if cfg.Interval <= 0 {
 		return nil, fmt.Errorf("core: guard interval must be positive, got %v", cfg.Interval)
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := &Guard{
 		pr:       pr,
 		interval: cfg.Interval,
 		onEvent:  cfg.OnEvent,
+		ctx:      ctx,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -85,19 +98,30 @@ func (g *Guard) run() {
 	for {
 		select {
 		case <-ticker.C:
-			g.scrub()
+			g.scrub(g.ctx)
+		case <-g.ctx.Done():
+			return
 		case <-g.stop:
 			return
 		}
 	}
 }
 
-// scrub performs one detect(+recover) cycle. SelfHeal runs both phases
-// under one engine lock, so Sync-routed mutation cannot land between
-// detection and the recovery acting on its report.
-func (g *Guard) scrub() {
+// scrub performs one detect(+recover) cycle under ctx. SelfHeal runs
+// both phases under one engine lock, so Sync-routed mutation cannot
+// land between detection and the recovery acting on its report.
+func (g *Guard) scrub(ctx context.Context) {
 	start := time.Now()
-	det, rec, err := g.pr.SelfHeal()
+	det, rec, err := g.pr.SelfHealContext(ctx)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The cycle was aborted by the guard's own context — shutdown,
+		// not an engine failure. Drop the partial cycle: no stats, no
+		// OnEvent (whose Err field is documented as an engine failure).
+		// A genuine engine error that raced the cancellation is not a
+		// context error and still reaches OnEvent below. The run loop
+		// exits on its next select.
+		return
+	}
 	ev := GuardEvent{Detection: det, Err: err}
 	if det == nil || !det.HasErrors() {
 		rec = nil // a clean scrub performed no recovery
@@ -125,9 +149,11 @@ func (g *Guard) scrub() {
 }
 
 // ScrubNow runs one cycle synchronously (in the caller's goroutine),
-// independent of the schedule. Useful before answering a critical query.
+// independent of the schedule — and independent of the guard's context,
+// so it still performs a real detect(+recover) cycle after the scrub
+// loop has shut down. Useful before answering a critical query.
 func (g *Guard) ScrubNow() {
-	g.scrub()
+	g.scrub(context.Background())
 }
 
 // Stats returns a copy of the accumulated statistics.

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"milr/internal/linalg"
 	"milr/internal/nn"
+	"milr/internal/par"
 	"milr/internal/prng"
 	"milr/internal/tensor"
 )
@@ -44,12 +46,23 @@ type Protector struct {
 // initialization phase only runs once when neural network is started on
 // a system" (§III).
 func NewProtector(m *nn.Model, opts Options) (*Protector, error) {
+	return NewProtectorContext(context.Background(), m, opts)
+}
+
+// NewProtectorContext is NewProtector with cancellation: initialization
+// aborts promptly (returning ctx's error) once the context is done. With
+// Options.Workers set, the per-layer initialization work — rank probes,
+// dummy-output computation, partial checkpoints, CRC encoding — runs on
+// a bounded pool; rank probes dominate initialization cost and every
+// layer's artifacts are independent, so layers parallelize cleanly with
+// bit-identical results at any worker count.
+func NewProtectorContext(ctx context.Context, m *nn.Model, opts Options) (*Protector, error) {
 	pl, err := buildPlan(m, opts)
 	if err != nil {
 		return nil, err
 	}
 	pr := &Protector{model: m, plan: pl, opts: opts}
-	if err := pr.initialize(); err != nil {
+	if err := pr.initialize(ctx); err != nil {
 		return nil, err
 	}
 	return pr, nil
@@ -85,19 +98,56 @@ func (pr *Protector) Sync(fn func()) {
 	fn()
 }
 
-// initialize computes every stored artifact.
-func (pr *Protector) initialize() error {
+// initialize computes every stored artifact: a sequential golden
+// propagation pass, then per-layer artifact computation on the engine's
+// worker pool (Options.Workers). Every layer's artifacts depend only on
+// that layer's parameters and its captured golden input, so the parallel
+// pass is bit-identical to the serial one at any worker count.
+func (pr *Protector) initialize(ctx context.Context) error {
 	m := pr.model
 	// 1. Propagate the golden input through the network in recovery mode,
-	//    storing full checkpoints at boundary positions and computing
-	//    conv dummy-filter outputs where the plan requires them.
+	//    storing full checkpoints at boundary positions and capturing each
+	//    conv layer's golden input for the per-layer pass (rank probes and
+	//    dummy-filter outputs need it).
+	layerIn := make([]*tensor.Tensor, m.NumLayers())
 	cur := pr.goldenNetworkInput()
 	for i := 0; i < m.NumLayers(); i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if pr.isStoredBoundary(i) {
 			pr.plan.stored[i] = cur.Clone()
 		}
 		lp := pr.plan.layers[i]
-		if lp.role == roleConv && lp.fullSolve {
+		if lp.role == roleConv && (lp.fullSolve || lp.dummyFilters > 0) {
+			layerIn[i] = cur
+		}
+		next, err := m.Layer(i).RecoveryForward(cur)
+		if err != nil {
+			return fmt.Errorf("core: init forward layer %d (%s): %w", i, m.Layer(i).Name(), err)
+		}
+		cur = next
+	}
+	pr.plan.stored[m.NumLayers()] = cur.Clone()
+
+	// 2. Per-layer detection and solver data, independent across layers.
+	return par.ForErr(len(pr.plan.layers), pr.opts.workerPool(), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return pr.initLayer(pr.plan.layers[i], layerIn[i])
+	})
+}
+
+// initLayer computes one layer's stored artifacts. goldenIn is the
+// layer's golden input (captured by the propagation pass; nil unless the
+// layer needs it). It only reads model parameters and writes the
+// layer's own plan entry, so independent layers run concurrently.
+func (pr *Protector) initLayer(lp *layerPlan, goldenIn *tensor.Tensor) error {
+	i := lp.idx
+	switch lp.role {
+	case roleConv:
+		if lp.fullSolve {
 			// Rank probe: whole-filter recovery needs the golden-input
 			// im2col matrix to have full column rank. Inputs that came
 			// through earlier convolutions live in a subspace bounded by
@@ -105,7 +155,7 @@ func (pr *Protector) initialize() error {
 			// G² ≥ F²Z — these layers fall back to partial mode, which
 			// is precisely the paper's "partial recoverable" marking on
 			// interior conv layers.
-			a, err := lowerF64(lp.conv, cur)
+			a, err := lowerF64(lp.conv, goldenIn)
 			if err != nil {
 				return fmt.Errorf("core: rank probe layer %d: %w", i, err)
 			}
@@ -118,65 +168,53 @@ func (pr *Protector) initialize() error {
 				lp.partialMode = true
 			}
 		}
-		if lp.role == roleConv && lp.dummyFilters > 0 {
+		if lp.dummyFilters > 0 {
 			lp.dummyTag = tagConvDummy + uint64(i)
-			out, err := convDummyOutputs(lp.conv, cur, pr.opts.Seed, lp.dummyTag, lp.dummyFilters)
+			out, err := convDummyOutputs(lp.conv, goldenIn, pr.opts.Seed, lp.dummyTag, lp.dummyFilters)
 			if err != nil {
 				return fmt.Errorf("core: init dummy filters for layer %d: %w", i, err)
 			}
 			lp.dummyOut = out
 		}
-		next, err := m.Layer(i).RecoveryForward(cur)
+		lp.detectTag = tagDetect + uint64(i)
+		partial, err := pr.convPartialCheckpoint(lp)
 		if err != nil {
-			return fmt.Errorf("core: init forward layer %d (%s): %w", i, m.Layer(i).Name(), err)
+			return err
 		}
-		cur = next
-	}
-	pr.plan.stored[m.NumLayers()] = cur.Clone()
-
-	// 2. Per-layer detection data and solver data.
-	for i, lp := range pr.plan.layers {
-		switch lp.role {
-		case roleConv:
-			lp.detectTag = tagDetect + uint64(i)
-			partial, err := pr.convPartialCheckpoint(lp)
+		lp.partial = partial
+		// After the rank probe, so a probe-demoted layer gets its codes.
+		if lp.partialMode {
+			codes, err := convEncodeCRC(lp.conv, pr.opts.CRCGroup)
 			if err != nil {
 				return err
 			}
-			lp.partial = partial
-			if lp.partialMode {
-				codes, err := convEncodeCRC(lp.conv, pr.opts.CRCGroup)
-				if err != nil {
-					return err
-				}
-				lp.crcs = codes
-				lp.crcsClean = codes
-			}
-		case roleDense:
-			lp.detectTag = tagDetect + uint64(i)
-			partial, err := pr.densePartialCheckpoint(lp)
-			if err != nil {
-				return err
-			}
-			lp.partial = partial
-			lp.denseTag = tagDenseDummy + uint64(i)
-			dummyOut, err := denseDummyOutputs(lp.dense, pr.opts.Seed, lp.denseTag, pr.opts.DenseBand)
-			if err != nil {
-				return err
-			}
-			lp.denseDummyOut = dummyOut
-		case roleBias:
-			// "the sum of all the bias parameters is taken and stored"
-			// (§IV-E-c).
-			lp.biasSum = lp.bias.Params().Sum()
-		case roleAffine:
-			lp.detectTag = tagDetect + uint64(i)
-			partial, err := pr.affinePartialCheckpoint(lp)
-			if err != nil {
-				return err
-			}
-			lp.partial = partial
+			lp.crcs = codes
+			lp.crcsClean = codes
 		}
+	case roleDense:
+		lp.detectTag = tagDetect + uint64(i)
+		partial, err := pr.densePartialCheckpoint(lp)
+		if err != nil {
+			return err
+		}
+		lp.partial = partial
+		lp.denseTag = tagDenseDummy + uint64(i)
+		dummyOut, err := denseDummyOutputs(lp.dense, pr.opts.Seed, lp.denseTag, pr.opts.DenseBand)
+		if err != nil {
+			return err
+		}
+		lp.denseDummyOut = dummyOut
+	case roleBias:
+		// "the sum of all the bias parameters is taken and stored"
+		// (§IV-E-c).
+		lp.biasSum = lp.bias.Params().Sum()
+	case roleAffine:
+		lp.detectTag = tagDetect + uint64(i)
+		partial, err := pr.affinePartialCheckpoint(lp)
+		if err != nil {
+			return err
+		}
+		lp.partial = partial
 	}
 	return nil
 }

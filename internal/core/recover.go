@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,21 +72,34 @@ func (r *RecoveryReport) AllRecovered() bool {
 // tensors themselves pass through erroneous parameters and recovery
 // accuracy degrades, reproducing the paper's high-RBER outliers.
 func (pr *Protector) Recover(report *DetectionReport) (*RecoveryReport, error) {
+	return pr.RecoverContext(context.Background(), report)
+}
+
+// RecoverContext is Recover with cancellation: the context is checked
+// between layers, so a cancelled or expired context makes recovery
+// return promptly with ctx's error. Cancellation is layer-atomic — each
+// flagged layer is either fully re-solved (the layers recovered before
+// the cancellation landed) or untouched — so the model is always in a
+// consistent state; re-running recovery later finishes the job.
+func (pr *Protector) RecoverContext(ctx context.Context, report *DetectionReport) (*RecoveryReport, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	return pr.recoverLocked(report)
+	return pr.recoverLocked(ctx, report)
 }
 
 // recoverLocked requires pr.mu. Layers recover sequentially — golden
 // tensors move *through* neighbouring layers, so cross-layer order is
 // semantic — but within a layer the independent filters, parameter
 // columns, and inversion positions solve on the engine's worker pool.
-func (pr *Protector) recoverLocked(report *DetectionReport) (*RecoveryReport, error) {
+func (pr *Protector) recoverLocked(ctx context.Context, report *DetectionReport) (*RecoveryReport, error) {
 	out := &RecoveryReport{}
 	findings := make([]LayerFinding, len(report.Findings))
 	copy(findings, report.Findings)
 	sort.Slice(findings, func(i, j int) bool { return findings[i].Layer < findings[j].Layer })
 	for _, f := range findings {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lp := pr.plan.layers[f.Layer]
 		var res RecoveryResult
 		var err error
@@ -113,16 +127,26 @@ func (pr *Protector) recoverLocked(report *DetectionReport) (*RecoveryReport, er
 // atomic cycle: external mutation routed through Sync cannot land
 // between the two phases.
 func (pr *Protector) SelfHeal() (*DetectionReport, *RecoveryReport, error) {
+	return pr.SelfHealContext(context.Background())
+}
+
+// SelfHealContext is SelfHeal with cancellation. The context is checked
+// between layer scrubs and between layer recoveries; once it is done,
+// the cycle returns promptly with ctx's error and the model in a
+// consistent state — every flagged layer either untouched (detect-only)
+// or fully re-solved, never half-written. A later SelfHeal completes
+// whatever the cancelled cycle left undone.
+func (pr *Protector) SelfHealContext(ctx context.Context) (*DetectionReport, *RecoveryReport, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
-	det, err := pr.detectLocked()
+	det, err := pr.detectLocked(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	if !det.HasErrors() {
 		return det, &RecoveryReport{}, nil
 	}
-	rec, err := pr.recoverLocked(det)
+	rec, err := pr.recoverLocked(ctx, det)
 	if err != nil {
 		return det, nil, err
 	}
@@ -301,7 +325,7 @@ func (pr *Protector) RecoverAll() (*RecoveryReport, error) {
 			report.Findings = append(report.Findings, LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Columns: all})
 		}
 	}
-	return pr.recoverLocked(report)
+	return pr.recoverLocked(context.Background(), report)
 }
 
 // Boundaries returns the checkpoint boundary positions (layer-input

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"context"
+	"fmt"
+
+	"milr/internal/tensor"
+)
+
+// Batch-first inference. A batch is a slice of per-sample tensors (all
+// the same shape); the GEMM layers stack the whole batch into a single
+// matrix product — one im2col GEMM per convolution, one (B×In)·(In×Out)
+// product per dense layer — instead of issuing B small ones. Because the
+// GEMM kernels accumulate per output element in float64 with a fixed
+// k-ascending order, the stacked products are bit-identical to the
+// per-sample ones: ForwardBatch and B Forward calls produce the same
+// logits to the last bit at every worker count (pinned by
+// batch_equiv_test.go).
+
+// BatchCapable is implemented by layers that can process a whole batch
+// in one kernel invocation (convolution and dense, the GEMM layers).
+// Layers without it are applied per sample, which is exact for every
+// layer in this package (none carries cross-sample state at inference).
+type BatchCapable interface {
+	Layer
+	// ForwardBatch runs normal inference on every sample at once. The
+	// result is element-wise bit-identical to calling Forward per sample.
+	ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+var (
+	_ BatchCapable = (*Conv2D)(nil)
+	_ BatchCapable = (*Dense)(nil)
+)
+
+// ForwardBatch implements BatchCapable: the batch's im2col matrices are
+// stacked into one (B·G², F²Z) coefficient matrix and multiplied with
+// the (F²Z, Y) filter matrix in a single GEMM.
+func (c *Conv2D) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("nn: conv %q: empty batch", c.name)
+	}
+	outShape, err := c.OutShape(ins[0].Shape())
+	if err != nil {
+		return nil, err
+	}
+	for b, in := range ins[1:] {
+		if !in.Shape().Equal(ins[0].Shape()) {
+			return nil, fmt.Errorf("nn: conv %q: batch sample %d has shape %v, sample 0 has %v",
+				c.name, b+1, in.Shape(), ins[0].Shape())
+		}
+	}
+	g2 := outShape[0] * outShape[1]
+	workers := c.pool()
+	cols := tensor.New(len(ins)*g2, c.f*c.f*c.z)
+	for b, in := range ins {
+		padded, err := c.padInput(in)
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.Im2ColBand(cols, b*g2, padded, c.f, c.stride, workers); err != nil {
+			return nil, fmt.Errorf("conv %q: %w", c.name, err)
+		}
+	}
+	flat, err := tensor.MatMulWorkers(cols, c.weightsMatrix(), workers)
+	if err != nil {
+		return nil, fmt.Errorf("conv %q: %w", c.name, err)
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	fd := flat.Data()
+	stride := g2 * c.y
+	for b := range outs {
+		out := tensor.New(outShape...)
+		copy(out.Data(), fd[b*stride:(b+1)*stride])
+		outs[b] = out
+	}
+	return outs, nil
+}
+
+// ForwardBatch implements BatchCapable: the batch's input rows are
+// stacked into one (B×In) matrix and multiplied with the parameter
+// matrix in a single GEMM.
+func (d *Dense) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("nn: dense %q: empty batch", d.name)
+	}
+	rows := 0
+	for _, in := range ins {
+		if _, err := d.OutShape(in.Shape()); err != nil {
+			return nil, err
+		}
+		rows += in.Dim(0)
+	}
+	stacked := tensor.New(rows, d.n)
+	sd := stacked.Data()
+	off := 0
+	for _, in := range ins {
+		copy(sd[off:off+in.NumElements()], in.Data())
+		off += in.NumElements()
+	}
+	flat, err := tensor.MatMulWorkers(stacked, d.w, d.pool())
+	if err != nil {
+		return nil, fmt.Errorf("dense %q: %w", d.name, err)
+	}
+	outs := make([]*tensor.Tensor, len(ins))
+	fd := flat.Data()
+	off = 0
+	for b, in := range ins {
+		m := in.Dim(0)
+		out := tensor.New(m, d.p)
+		copy(out.Data(), fd[off:off+m*d.p])
+		off += m * d.p
+		outs[b] = out
+	}
+	return outs, nil
+}
+
+// ForwardBatch runs normal inference on a batch of same-shaped inputs.
+// GEMM layers (conv, dense) consume the whole batch in one stacked
+// matrix product; every other layer is applied per sample. The outputs
+// are bit-identical to per-sample Forward calls in the input order.
+func (m *Model) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("nn: empty batch")
+	}
+	cur := make([]*tensor.Tensor, len(xs))
+	copy(cur, xs)
+	for i, l := range m.layers {
+		if bc, ok := l.(BatchCapable); ok {
+			next, err := bc.ForwardBatch(cur)
+			if err != nil {
+				return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+			}
+			cur = next
+			continue
+		}
+		for s := range cur {
+			out, err := l.Forward(cur[s])
+			if err != nil {
+				return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
+			}
+			cur[s] = out
+		}
+	}
+	return cur, nil
+}
+
+// PredictBatch returns the argmax class of every sample in the batch,
+// computed through the batched forward path.
+func (m *Model) PredictBatch(xs []*tensor.Tensor) ([]int, error) {
+	outs, err := m.ForwardBatch(xs)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]int, len(outs))
+	for i, out := range outs {
+		preds[i] = out.ArgMax()
+	}
+	return preds, nil
+}
+
+// DefaultEvalBatch is the batch size Evaluate stacks per GEMM. Large
+// enough to amortize kernel dispatch and feed the worker pool, small
+// enough that the stacked im2col matrices of the CIFAR-sized networks
+// stay within tens of megabytes.
+const DefaultEvalBatch = 8
+
+// EvaluateBatch returns classification accuracy on samples, running
+// inference through the batched forward path in chunks of batch
+// samples (batch <= 1 clamps to single-sample batches — still the
+// batched code path, just with B=1). Accuracy is identical to
+// per-sample evaluation at every batch size because the batched
+// forward is bit-identical to the per-sample one.
+func EvaluateBatch(m *Model, samples []Sample, batch int) (float64, error) {
+	return EvaluateBatchContext(context.Background(), m, samples, batch)
+}
+
+// EvaluateBatchContext is EvaluateBatch with cancellation: the context
+// is checked between chunks, so long evaluations over large test sets
+// return promptly once ctx is done.
+func EvaluateBatchContext(ctx context.Context, m *Model, samples []Sample, batch int) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("nn: no evaluation samples")
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	var correct int
+	xs := make([]*tensor.Tensor, 0, batch)
+	for start := 0; start < len(samples); start += batch {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		end := start + batch
+		if end > len(samples) {
+			end = len(samples)
+		}
+		xs = xs[:0]
+		for _, s := range samples[start:end] {
+			xs = append(xs, s.X)
+		}
+		preds, err := m.PredictBatch(xs)
+		if err != nil {
+			return 0, err
+		}
+		for i, p := range preds {
+			if p == samples[start+i].Label {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(len(samples)), nil
+}

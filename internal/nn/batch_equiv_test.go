@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"milr/internal/prng"
+	"milr/internal/tensor"
+)
+
+// Batch–single equivalence: for each of the four networks, ForwardBatch
+// must produce bit-identical logits to B per-sample Forward calls, at
+// B ∈ {1, 2, 8} and worker counts {1, 4}, while issuing at most one
+// GEMM per conv/dense layer for the whole batch.
+
+func batchInputs(m *Model, b int, seedTag uint64) []*tensor.Tensor {
+	xs := make([]*tensor.Tensor, b)
+	for i := range xs {
+		xs[i] = prng.TensorFor(uint64(i)+1, seedTag, m.InShape()...)
+	}
+	return xs
+}
+
+// gemmLayers counts the conv and dense layers of a model — the upper
+// bound on GEMM invocations one batched forward pass may issue.
+func gemmLayers(m *Model) int {
+	n := 0
+	for _, l := range m.Layers() {
+		switch l.(type) {
+		case *Conv2D, *Dense:
+			n++
+		}
+	}
+	return n
+}
+
+func TestForwardBatchMatchesSingle(t *testing.T) {
+	for name, m := range equivalenceNets(t) {
+		for _, workers := range []int{1, 4} {
+			m.SetWorkers(workers)
+			for _, b := range []int{1, 2, 8} {
+				xs := batchInputs(m, b, 31)
+				want := make([]*tensor.Tensor, b)
+				for i, x := range xs {
+					out, err := m.Forward(x)
+					if err != nil {
+						t.Fatalf("%s workers=%d single forward: %v", name, workers, err)
+					}
+					want[i] = out
+				}
+				before := tensor.GEMMCalls()
+				got, err := m.ForwardBatch(xs)
+				if err != nil {
+					t.Fatalf("%s workers=%d B=%d batch forward: %v", name, workers, b, err)
+				}
+				calls := tensor.GEMMCalls() - before
+				if max := uint64(gemmLayers(m)); calls > max {
+					t.Errorf("%s workers=%d B=%d: batch forward issued %d GEMMs, want ≤ %d (one per conv/dense layer)",
+						name, workers, b, calls, max)
+				}
+				for i := range want {
+					assertIdentical(t, fmt.Sprintf("%s workers=%d B=%d sample %d", name, workers, b, i), want[i], got[i])
+				}
+			}
+		}
+		m.SetWorkers(0)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	for name, m := range equivalenceNets(t) {
+		xs := batchInputs(m, 5, 47)
+		preds, err := m.PredictBatch(xs)
+		if err != nil {
+			t.Fatalf("%s predict batch: %v", name, err)
+		}
+		for i, x := range xs {
+			want, err := m.Predict(x)
+			if err != nil {
+				t.Fatalf("%s predict: %v", name, err)
+			}
+			if preds[i] != want {
+				t.Errorf("%s sample %d: batch predicted %d, single predicted %d", name, i, preds[i], want)
+			}
+		}
+	}
+}
+
+func TestEvaluateBatchMatchesPerSample(t *testing.T) {
+	for name, m := range equivalenceNets(t) {
+		in := m.InShape()
+		samples := make([]Sample, 11) // deliberately not a batch multiple
+		for i := range samples {
+			samples[i] = Sample{X: prng.TensorFor(uint64(i)+3, 59, in...), Label: i % 3}
+		}
+		var want float64
+		var correct int
+		for _, s := range samples {
+			pred, err := m.Predict(s.X)
+			if err != nil {
+				t.Fatalf("%s predict: %v", name, err)
+			}
+			if pred == s.Label {
+				correct++
+			}
+		}
+		want = float64(correct) / float64(len(samples))
+		for _, batch := range []int{1, 4, 8, 64} {
+			got, err := EvaluateBatch(m, samples, batch)
+			if err != nil {
+				t.Fatalf("%s batch=%d: %v", name, batch, err)
+			}
+			if got != want {
+				t.Errorf("%s batch=%d: accuracy %v, want %v", name, batch, got, want)
+			}
+		}
+	}
+}

@@ -139,11 +139,27 @@ func (c *Conv2D) Lower(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return c.lowerWorkers(in, 1)
 }
 
-// lowerWorkers is Lower on a bounded worker pool; identical output.
-func (c *Conv2D) lowerWorkers(in *tensor.Tensor, workers int) (*tensor.Tensor, error) {
-	padded, err := tensor.Pad2D(in, c.Pad())
+// padInput applies the layer's padding policy. Unpadded layers return
+// the input itself — the im2col kernels only read it, so the Pad2D
+// clone would be a pure copy. Both the per-sample and batch lowering
+// paths go through here.
+func (c *Conv2D) padInput(in *tensor.Tensor) (*tensor.Tensor, error) {
+	p := c.Pad()
+	if p == 0 {
+		return in, nil
+	}
+	padded, err := tensor.Pad2D(in, p)
 	if err != nil {
 		return nil, fmt.Errorf("conv %q: %w", c.name, err)
+	}
+	return padded, nil
+}
+
+// lowerWorkers is Lower on a bounded worker pool; identical output.
+func (c *Conv2D) lowerWorkers(in *tensor.Tensor, workers int) (*tensor.Tensor, error) {
+	padded, err := c.padInput(in)
+	if err != nil {
+		return nil, err
 	}
 	return tensor.Im2ColWorkers(padded, c.f, c.stride, workers)
 }

@@ -84,10 +84,10 @@ func assertIdentical(t *testing.T, label string, want, got *tensor.Tensor) {
 	}
 }
 
-// TestEvaluateParallelMatchesSerial pins the batched-inference path:
-// accuracy over a labelled set is identical whether samples are
-// evaluated sequentially or fanned out over any number of workers.
-func TestEvaluateParallelMatchesSerial(t *testing.T) {
+// TestEvaluatePooledMatchesSerial pins the batched-inference path:
+// accuracy over a labelled set is identical whether the GEMM pools run
+// serial or at any worker count (Evaluate itself is batch-first).
+func TestEvaluatePooledMatchesSerial(t *testing.T) {
 	for name, m := range equivalenceNets(t) {
 		in := m.InShape()
 		samples := make([]Sample, 12)
@@ -97,12 +97,14 @@ func TestEvaluateParallelMatchesSerial(t *testing.T) {
 				Label: i % 3,
 			}
 		}
+		m.SetWorkers(0)
 		want, err := Evaluate(m, samples)
 		if err != nil {
 			t.Fatalf("%s evaluate: %v", name, err)
 		}
 		for _, workers := range workerCounts() {
-			got, err := EvaluateParallel(m, samples, workers)
+			m.SetWorkers(workers)
+			got, err := Evaluate(m, samples)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", name, workers, err)
 			}
@@ -110,5 +112,6 @@ func TestEvaluateParallelMatchesSerial(t *testing.T) {
 				t.Errorf("%s workers=%d: accuracy %v, want %v", name, workers, got, want)
 			}
 		}
+		m.SetWorkers(0)
 	}
 }

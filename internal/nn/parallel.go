@@ -2,68 +2,13 @@ package nn
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
-// Parallel evaluation. Inference (Forward) is read-only with respect to
-// layer parameters, so independent samples can be evaluated from
-// concurrent goroutines. The worker pool is bounded and joined before
-// returning — no goroutine outlives the call.
-
-// EvaluateParallel returns classification accuracy over samples using up
-// to `workers` concurrent goroutines (0 means GOMAXPROCS).
-func EvaluateParallel(m *Model, samples []Sample, workers int) (float64, error) {
-	if len(samples) == 0 {
-		return 0, fmt.Errorf("nn: no evaluation samples")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(samples) {
-		workers = len(samples)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		correct  int
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			localCorrect := 0
-			for idx := range next {
-				pred, err := m.Predict(samples[idx].X)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
-				}
-				if pred == samples[idx].Label {
-					localCorrect++
-				}
-			}
-			mu.Lock()
-			correct += localCorrect
-			mu.Unlock()
-		}()
-	}
-	for i := range samples {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return 0, firstErr
-	}
-	return float64(correct) / float64(len(samples)), nil
-}
+// Evaluation diagnostics. Sample-level parallel evaluation
+// (EvaluateParallel) was superseded by the batch-first path: Evaluate /
+// EvaluateBatch stack samples into one GEMM per layer, which feeds the
+// layer worker pools (SetWorkers) far better than per-sample fan-out
+// and stays bit-identical to serial inference.
 
 // ConfusionMatrix counts predictions: cell (i,j) is the number of
 // class-i samples predicted as class j.

@@ -128,19 +128,8 @@ func backprop(m *Model, s Sample) (float64, error) {
 }
 
 // Evaluate returns the classification accuracy of the model on samples.
+// It runs through the batched forward path (DefaultEvalBatch samples
+// per stacked GEMM), which is bit-identical to per-sample inference.
 func Evaluate(m *Model, samples []Sample) (float64, error) {
-	if len(samples) == 0 {
-		return 0, fmt.Errorf("nn: no evaluation samples")
-	}
-	var correct int
-	for _, s := range samples {
-		pred, err := m.Predict(s.X)
-		if err != nil {
-			return 0, err
-		}
-		if pred == s.Label {
-			correct++
-		}
-	}
-	return float64(correct) / float64(len(samples)), nil
+	return EvaluateBatch(m, samples, DefaultEvalBatch)
 }

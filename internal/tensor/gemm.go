@@ -2,9 +2,20 @@ package tensor
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"milr/internal/par"
 )
+
+// gemmCalls counts GEMM kernel invocations (MatMul + MatMulWorkers).
+// The batch-first inference path promises at most one GEMM per conv or
+// dense layer per batch; tests read this counter to enforce that.
+var gemmCalls atomic.Uint64
+
+// GEMMCalls returns the number of GEMM kernel invocations since process
+// start. Monotonic; take a before/after delta around the region of
+// interest.
+func GEMMCalls() uint64 { return gemmCalls.Load() }
 
 // Blocked, pool-parallel GEMM. The serial MatMul and the parallel
 // MatMulWorkers share the same per-element kernels, and every partition
@@ -83,6 +94,7 @@ func MatMulWorkers(a, b *Tensor, workers int) (*Tensor, error) {
 	if n != n2 {
 		return nil, fmt.Errorf("tensor: matmul inner dimension mismatch %v x %v", a.Shape(), b.Shape())
 	}
+	gemmCalls.Add(1)
 	c := New(m, p)
 	ad, bd, cd := a.data, b.data, c.data
 	w := par.Resolve(workers, m*p)
@@ -102,28 +114,46 @@ func MatMulWorkers(a, b *Tensor, workers int) (*Tensor, error) {
 	return c, nil
 }
 
+// im2colGrid validates the lowering geometry and returns the output
+// grid extents — the single validation path shared by Im2ColWorkers and
+// Im2ColBand.
+func im2colGrid(padded *Tensor, f, s int) (gh, gw int, err error) {
+	if padded.Rank() != 3 {
+		return 0, 0, fmt.Errorf("tensor: Im2Col requires (H,W,Z) tensor, got %v", padded.Shape())
+	}
+	if f <= 0 || s <= 0 {
+		return 0, 0, fmt.Errorf("tensor: invalid filter %d or stride %d", f, s)
+	}
+	gh = (padded.Dim(0)-f)/s + 1
+	gw = (padded.Dim(1)-f)/s + 1
+	if gh <= 0 || gw <= 0 {
+		return 0, 0, fmt.Errorf("tensor: filter %d too large for input %v", f, padded.Shape())
+	}
+	return gh, gw, nil
+}
+
 // Im2ColWorkers is Im2Col on a bounded worker pool: the output grid's
 // rows are partitioned into contiguous bands. Pure data movement, so
 // the result is trivially identical to Im2Col.
 func Im2ColWorkers(padded *Tensor, f, s, workers int) (*Tensor, error) {
-	if padded.Rank() != 3 {
-		return nil, fmt.Errorf("tensor: Im2Col requires (H,W,Z) tensor, got %v", padded.Shape())
+	gh, gw, err := im2colGrid(padded, f, s)
+	if err != nil {
+		return nil, err
 	}
-	h, w, z := padded.Dim(0), padded.Dim(1), padded.Dim(2)
-	if f <= 0 || s <= 0 {
-		return nil, fmt.Errorf("tensor: invalid filter %d or stride %d", f, s)
-	}
-	gh := (h-f)/s + 1
-	gw := (w-f)/s + 1
-	if gh <= 0 || gw <= 0 {
-		return nil, fmt.Errorf("tensor: filter %d too large for input %v", f, padded.Shape())
-	}
-	out := New(gh*gw, f*f*z)
+	out := New(gh*gw, f*f*padded.Dim(2))
+	im2colBand(out.data, 0, padded, f, s, gh, gw, workers)
+	return out, nil
+}
+
+// im2colBand lowers padded into rows [rowOff, rowOff+gh·gw) of a
+// row-major buffer with row stride f·f·z. Pure data movement.
+func im2colBand(dstBuf []float32, rowOff int, padded *Tensor, f, s, gh, gw, workers int) {
+	w, z := padded.Dim(1), padded.Dim(2)
 	par.Blocks(gh, par.Resolve(workers, gh), func(ilo, ihi int) {
 		for i := ilo; i < ihi; i++ {
-			row := i * gw
+			row := rowOff + i*gw
 			for j := 0; j < gw; j++ {
-				dst := out.data[row*f*f*z : (row+1)*f*f*z]
+				dst := dstBuf[row*f*f*z : (row+1)*f*f*z]
 				col := 0
 				for f1 := 0; f1 < f; f1++ {
 					srcOff := ((i*s+f1)*w + j*s) * z
@@ -134,5 +164,23 @@ func Im2ColWorkers(padded *Tensor, f, s, workers int) (*Tensor, error) {
 			}
 		}
 	})
-	return out, nil
+}
+
+// Im2ColBand lowers padded into rows [rowOff, rowOff+G²) of dst, which
+// must be a rank-2 tensor with F²Z columns and at least rowOff+G² rows.
+// The batch-first conv path uses it to stack a whole batch's im2col
+// matrices into one (B·G², F²Z) coefficient matrix and issue a single
+// GEMM. The lowered rows are identical to Im2Col's.
+func Im2ColBand(dst *Tensor, rowOff int, padded *Tensor, f, s, workers int) error {
+	gh, gw, err := im2colGrid(padded, f, s)
+	if err != nil {
+		return err
+	}
+	z := padded.Dim(2)
+	if dst.Rank() != 2 || dst.Dim(1) != f*f*z || rowOff < 0 || rowOff+gh*gw > dst.Dim(0) {
+		return fmt.Errorf("tensor: Im2ColBand destination %v cannot hold %d rows at offset %d (want %d columns)",
+			dst.Shape(), gh*gw, rowOff, f*f*z)
+	}
+	im2colBand(dst.data, rowOff, padded, f, s, gh, gw, workers)
+	return nil
 }

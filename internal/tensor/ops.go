@@ -15,6 +15,7 @@ func MatMul(a, b *Tensor) (*Tensor, error) {
 	if n != n2 {
 		return nil, fmt.Errorf("tensor: matmul inner dimension mismatch %v x %v", a.Shape(), b.Shape())
 	}
+	gemmCalls.Add(1)
 	c := New(m, p)
 	// ikj loop order keeps the B row walk contiguous; the kernel is
 	// shared with the pool-parallel MatMulWorkers (gemm.go) so the two

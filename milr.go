@@ -26,16 +26,25 @@
 //	internal/bench        per-table/figure experiment harness
 //	internal/availability Eq. 6 availability–accuracy model
 //
-// Quick start:
+// Quick start — one Runtime carries the seed, worker pools and engine
+// policy; every long-running entry point takes a context:
 //
+//	ctx := context.Background()
+//	rt := milr.NewRuntime(milr.WithSeed(42), milr.WithWorkers(4))
 //	model, _ := milr.NewMNISTNet()
 //	model.InitWeights(42)
-//	prot, _ := milr.Protect(model, 42)
+//	prot, _ := rt.Protect(ctx, model)
 //	// ... weights get corrupted in fault-prone memory ...
-//	det, rec, _ := prot.SelfHeal()
+//	det, rec, _ := prot.SelfHealContext(ctx)
+//
+// Inference is batch-first: Model.ForwardBatch and Model.PredictBatch
+// stack a whole batch into one GEMM per conv/dense layer, bit-identical
+// to per-sample Forward calls.
 package milr
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"milr/internal/core"
@@ -76,7 +85,7 @@ type (
 
 	// Guard runs detection on a schedule and recovers automatically.
 	Guard = core.Guard
-	// GuardConfig configures NewGuard (interval, event hook).
+	// GuardConfig configures NewGuard (interval, event hook, context).
 	GuardConfig = core.GuardConfig
 	// GuardStats aggregates scrub/recovery counts and downtime.
 	GuardStats = core.GuardStats
@@ -84,9 +93,186 @@ type (
 	GuardEvent = core.GuardEvent
 )
 
+// Runtime is the engine's configuration root: one value carries the
+// master seed, the worker-pool policy for every parallel level
+// (inference GEMM, engine scrub/solve, protector initialization), the
+// MILR tolerances, and the evaluation batch size. Build one with
+// NewRuntime and functional options; the zero-option Runtime matches
+// DefaultOptions(0) with serial pools.
+//
+// A Runtime is immutable after construction and safe for concurrent use;
+// derive variants with With.
+type Runtime struct {
+	opts  core.Options
+	batch int
+	// workersSet records an explicit WithWorkers choice: only then do
+	// Protect and Evaluate retune the model's GEMM pools, so a
+	// hand-tuned model (Model.SetWorkers) is never silently reset to
+	// serial by a runtime that was built without a worker policy.
+	workersSet bool
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithSeed sets the master seed every PRNG artifact (golden inputs,
+// detection inputs, dummy data) derives from.
+func WithSeed(seed uint64) Option {
+	return func(rt *Runtime) { rt.opts.Seed = seed }
+}
+
+// WithWorkers bounds every worker pool the runtime configures: the
+// model's GEMM forward passes, the engine's concurrent layer scrubs and
+// per-filter/per-column solves, and protector initialization. 0 keeps
+// everything serial, n > 0 uses at most n goroutines per pool, negative
+// resolves to GOMAXPROCS. Every parallel path is bit-identical to the
+// serial one, so this is purely a throughput knob.
+func WithWorkers(n int) Option {
+	return func(rt *Runtime) {
+		rt.opts.Workers = n
+		rt.workersSet = true
+	}
+}
+
+// WithTolerance sets the engine's comparison tolerances: detect is the
+// relative tolerance for flagging layer outputs against partial
+// checkpoints, keep the threshold below which a re-solved parameter is
+// considered identical to the stored one.
+func WithTolerance(detect, keep float64) Option {
+	return func(rt *Runtime) {
+		rt.opts.DetectTol = detect
+		rt.opts.KeepTol = keep
+	}
+}
+
+// WithDenseBand sets the bandwidth of the banded pseudo-random dummy
+// input used for dense parameter solving.
+func WithDenseBand(band int) Option {
+	return func(rt *Runtime) { rt.opts.DenseBand = band }
+}
+
+// WithCRCGroup sets the 2-D CRC group size (the paper uses 4).
+func WithCRCGroup(group int) Option {
+	return func(rt *Runtime) { rt.opts.CRCGroup = group }
+}
+
+// WithMaxFullSolveTaps caps the F²Z size above which conv layers are
+// forced into partial-recoverability mode — the paper's cost policy for
+// the large CIFAR network. Zero means no cap.
+func WithMaxFullSolveTaps(taps int) Option {
+	return func(rt *Runtime) { rt.opts.MaxFullSolveTaps = taps }
+}
+
+// WithBatchSize sets how many samples Runtime.Evaluate stacks per GEMM;
+// values below 1 clamp to 1 (per-sample), matching the evaluator's own
+// clamping.
+func WithBatchSize(b int) Option {
+	return func(rt *Runtime) {
+		if b < 1 {
+			b = 1
+		}
+		rt.batch = b
+	}
+}
+
+// WithOptions replaces the engine options wholesale; later functional
+// options still apply on top. An escape hatch for configurations built
+// elsewhere (persisted, flag-driven). Options.Workers configures the
+// *engine* pools only — like the ProtectWithOptions wrapper it
+// replaces, WithOptions never retunes the model's GEMM pools, and it
+// clears any earlier WithWorkers model-pool policy (it replaces the
+// options wholesale); apply WithWorkers after WithOptions to set one.
+func WithOptions(opts Options) Option {
+	return func(rt *Runtime) {
+		rt.opts = opts
+		rt.workersSet = false
+	}
+}
+
+// NewRuntime builds a Runtime from functional options.
+func NewRuntime(opts ...Option) *Runtime {
+	rt := &Runtime{opts: core.DefaultOptions(0), batch: nn.DefaultEvalBatch}
+	for _, o := range opts {
+		o(rt)
+	}
+	return rt
+}
+
+// With derives a new Runtime with additional options applied; the
+// receiver is unchanged.
+func (rt *Runtime) With(opts ...Option) *Runtime {
+	out := *rt
+	for _, o := range opts {
+		o(&out)
+	}
+	return &out
+}
+
+// Seed returns the configured master seed.
+func (rt *Runtime) Seed() uint64 { return rt.opts.Seed }
+
+// Workers returns the configured worker-pool bound.
+func (rt *Runtime) Workers() int { return rt.opts.Workers }
+
+// BatchSize returns the evaluation batch size.
+func (rt *Runtime) BatchSize() int { return rt.batch }
+
+// Options returns the engine options this runtime protects models with.
+func (rt *Runtime) Options() Options { return rt.opts }
+
+// Protect runs MILR's initialization phase on a model under this
+// runtime's configuration: it plans checkpoints and computes every
+// stored artifact, with the per-layer initialization work (rank probes
+// dominate) running on the runtime's worker pool. On success, an
+// explicit worker policy (WithWorkers) is then applied to the model's
+// GEMM pools; on failure the model is untouched. The context cancels
+// initialization; the returned Protector's Detect/Recover/SelfHeal all
+// have ...Context forms for cancellation and deadlines.
+func (rt *Runtime) Protect(ctx context.Context, m *Model) (*Protector, error) {
+	pr, err := core.NewProtectorContext(ctx, m, rt.opts)
+	if err != nil {
+		// The model is untouched on failure: pools are only retuned once
+		// initialization has succeeded.
+		return nil, err
+	}
+	if rt.workersSet {
+		m.SetWorkers(rt.opts.Workers)
+	}
+	return pr, nil
+}
+
+// Evaluate returns classification accuracy on samples through the
+// batch-first inference path (one stacked GEMM per conv/dense layer per
+// batch of BatchSize samples). An explicit worker policy (WithWorkers)
+// is applied to the model's GEMM pools, as in Protect. The context is
+// checked between batches. Accuracy is
+// identical to per-sample evaluation at every batch size and worker
+// count.
+func (rt *Runtime) Evaluate(ctx context.Context, m *Model, samples []Sample) (float64, error) {
+	if rt.workersSet {
+		m.SetWorkers(rt.opts.Workers)
+	}
+	return nn.EvaluateBatchContext(ctx, m, samples, rt.batch)
+}
+
+// Guard starts a background scrub loop over a protected model under the
+// given context: the loop exits once ctx is done (Stop also still
+// works), and in-flight scrub cycles are cancelled layer-atomically.
+// The guard's context comes from the ctx argument; setting
+// GuardConfig.Context as well is rejected rather than silently
+// overridden.
+func (rt *Runtime) Guard(ctx context.Context, pr *Protector, cfg GuardConfig) (*Guard, error) {
+	if cfg.Context != nil && cfg.Context != ctx {
+		return nil, fmt.Errorf("milr: pass the guard's context either to Runtime.Guard or in GuardConfig.Context, not both")
+	}
+	cfg.Context = ctx
+	return core.NewGuard(pr, cfg)
+}
+
 // NewGuard starts a background scrub loop over a protected model; call
 // Stop to shut it down. This is the deployment loop behind the paper's
-// availability–accuracy trade-off (§V-E).
+// availability–accuracy trade-off (§V-E). Set GuardConfig.Context (or
+// use Runtime.Guard) to bound its lifetime with a context.
 func NewGuard(pr *Protector, cfg GuardConfig) (*Guard, error) {
 	return core.NewGuard(pr, cfg)
 }
@@ -137,14 +323,17 @@ var (
 func DefaultOptions(seed uint64) Options { return core.DefaultOptions(seed) }
 
 // Protect runs MILR's initialization phase on a model with default
-// options: it plans checkpoints, stores partial/full checkpoints, dummy
-// outputs, CRC codes, and bias sums. Afterwards, Detect, Recover, and
-// SelfHeal provide error detection and self-healing.
+// options.
+//
+// Deprecated: use NewRuntime(WithSeed(seed)).Protect(ctx, m), which adds
+// cancellation, worker pools, and functional configuration.
 func Protect(m *Model, seed uint64) (*Protector, error) {
 	return core.NewProtector(m, core.DefaultOptions(seed))
 }
 
 // ProtectWithOptions is Protect with explicit options.
+//
+// Deprecated: use NewRuntime(WithOptions(opts)).Protect(ctx, m).
 func ProtectWithOptions(m *Model, opts Options) (*Protector, error) {
 	return core.NewProtector(m, opts)
 }
@@ -158,6 +347,9 @@ func Train(m *Model, samples []Sample, cfg TrainConfig) (float64, error) {
 type TrainConfig = nn.TrainConfig
 
 // Evaluate returns classification accuracy on samples.
+//
+// Deprecated: use Runtime.Evaluate, which adds cancellation and a
+// configurable batch size (this function uses the default batch).
 func Evaluate(m *Model, samples []Sample) (float64, error) {
 	return nn.Evaluate(m, samples)
 }

@@ -1,0 +1,164 @@
+package milr_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// API-surface regression: the exported identifiers of the milr façade
+// are pinned to a golden list so a future change cannot silently add,
+// rename, or drop public API. Methods are listed as Type.Method for
+// exported receiver types declared in this package. Update the list
+// deliberately, in the same commit as the API change it blesses.
+var goldenAPI = []string{
+	// Runtime and functional options.
+	"NewRuntime",
+	"Option",
+	"Runtime",
+	"Runtime.BatchSize",
+	"Runtime.Evaluate",
+	"Runtime.Guard",
+	"Runtime.Options",
+	"Runtime.Protect",
+	"Runtime.Seed",
+	"Runtime.With",
+	"Runtime.Workers",
+	"WithBatchSize",
+	"WithCRCGroup",
+	"WithDenseBand",
+	"WithMaxFullSolveTaps",
+	"WithOptions",
+	"WithSeed",
+	"WithTolerance",
+	"WithWorkers",
+	// Re-exported engine types.
+	"DetectionReport",
+	"Guard",
+	"GuardConfig",
+	"GuardEvent",
+	"GuardStats",
+	"Layer",
+	"LayerPlanInfo",
+	"Model",
+	"Options",
+	"Parameterized",
+	"Protector",
+	"RecoveryReport",
+	"Sample",
+	"Shape",
+	"StorageReport",
+	"Tensor",
+	// Recovery statuses.
+	"Approximate",
+	"Failed",
+	"Recovered",
+	// Network constructors.
+	"NewCIFARLargeNet",
+	"NewCIFARSmallNet",
+	"NewMNISTNet",
+	"NewTinyNet",
+	// Persistence, guards, tensors, training.
+	"DefaultOptions",
+	"Evaluate",
+	"LoadProtector",
+	"NewGuard",
+	"NewTensor",
+	"Protect",
+	"ProtectWithOptions",
+	"SaveProtector",
+	"TensorFromSlice",
+	"Train",
+	"TrainConfig",
+}
+
+func TestAPISurfaceGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["milr"]
+	if !ok {
+		t.Fatalf("package milr not found in cwd (got %v)", pkgs)
+	}
+	got := map[string]bool{}
+	for name, file := range pkg.Files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					got[d.Name.Name] = true
+					continue
+				}
+				if recv := receiverName(d.Recv); recv != "" && ast.IsExported(recv) {
+					got[recv+"."+d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							got[s.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						for _, id := range s.Names {
+							if id.IsExported() {
+								got[id.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	want := map[string]bool{}
+	for _, id := range goldenAPI {
+		want[id] = true
+	}
+	var missing, extra []string
+	for id := range want {
+		if !got[id] {
+			missing = append(missing, id)
+		}
+	}
+	for id := range got {
+		if !want[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	if len(missing) > 0 {
+		t.Errorf("exported identifiers removed from the façade (deliberate API break? update goldenAPI):\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(extra) > 0 {
+		t.Errorf("new exported identifiers not in the golden list (add them deliberately):\n  %s",
+			strings.Join(extra, "\n  "))
+	}
+}
+
+func receiverName(fields *ast.FieldList) string {
+	if fields == nil || len(fields.List) == 0 {
+		return ""
+	}
+	expr := fields.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return fmt.Sprintf("%T", expr)
+}
