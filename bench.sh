@@ -30,6 +30,9 @@ go test . -bench 'BenchmarkTables1to3_Architectures' -cpu "$CPUS" -benchtime "$B
 echo "== batch-first inference: stacked GEMM vs per-sample loop (8 samples, MNIST) =="
 go test . -bench 'BenchmarkForward(Batch|Loop)$' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
 
+echo "== serving: coalesced vs uncoalesced closed-loop swarm (8 clients, MNIST) =="
+go test . -bench 'BenchmarkServer(Coalesced|Uncoalesced)$' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
 echo "== RBER sweep campaign, serial vs sharded (Figure 9 path) =="
 go test . -bench 'BenchmarkRBERSweepWorkers' -benchtime "$BENCHTIME" -run XXX
 

@@ -1,0 +1,202 @@
+// Command milr-serve load-tests the batch-coalescing inference server:
+// a closed-loop swarm of client goroutines issues single-sample Predict
+// calls against one milr.Server, once with coalescing enabled and once
+// with it disabled (batch size 1, no delay), and the tool reports the
+// throughput of both runs, the batch-fill histogram that proves (or
+// disproves) coalescing, and p50/p99 admission-to-answer latency.
+//
+// Usage:
+//
+//	milr-serve                                  # tiny net, 32 clients
+//	milr-serve -net mnist -clients 64 -batch 16 -delay 2ms -workers 4
+//	milr-serve -net tiny -guard 5ms -corrupt 0.001   # serve while self-healing
+//
+// With -guard the server runs over a MILR-protected model with a
+// background scrub loop; -corrupt injects whole-weight errors through
+// the Sync mutation gate between scrubs, so some answers are degraded
+// until the guard heals the model — those are counted as mismatches,
+// never errors. Without -guard every answer must be bit-identical to a
+// direct Model.Predict call and any mismatch makes the tool exit
+// non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"milr"
+	"milr/internal/bench"
+	"milr/internal/faults"
+	"milr/internal/prng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "milr-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("milr-serve", flag.ContinueOnError)
+	var (
+		net      = fs.String("net", "tiny", "network: tiny, mnist, cifar-small, cifar-large")
+		clients  = fs.Int("clients", 32, "concurrent closed-loop clients")
+		requests = fs.Int("requests", 50, "requests per client")
+		batch    = fs.Int("batch", 8, "coalescing batch size")
+		delay    = fs.Duration("delay", milr.DefaultMaxBatchDelay, "coalescing window (0 = flush immediately)")
+		workers  = fs.Int("workers", 0, "GEMM worker pool (0 = serial, -1 = all cores)")
+		seed     = fs.Uint64("seed", 42, "master seed")
+		guard    = fs.Duration("guard", 0, "protect the model and scrub on this interval (0 = no guard)")
+		corrupt  = fs.Float64("corrupt", 0, "whole-weight corruption rate injected during the run (needs -guard)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corrupt > 0 && *guard <= 0 {
+		return fmt.Errorf("-corrupt needs -guard (nothing would heal the injected errors)")
+	}
+
+	builders := map[string]func() (*milr.Model, error){
+		"tiny":        milr.NewTinyNet,
+		"mnist":       milr.NewMNISTNet,
+		"cifar-small": milr.NewCIFARSmallNet,
+		"cifar-large": milr.NewCIFARLargeNet,
+	}
+	build, ok := builders[*net]
+	if !ok {
+		return fmt.Errorf("unknown network %q (tiny, mnist, cifar-small, cifar-large)", *net)
+	}
+	model, err := build()
+	if err != nil {
+		return err
+	}
+	model.InitWeights(*seed)
+
+	// Inputs and their direct (unserved) answers: the equivalence
+	// baseline every coalesced answer is checked against.
+	const nInputs = 64
+	stream := prng.New(*seed + 1)
+	shape := model.InShape()
+	inputs := make([]*milr.Tensor, nInputs)
+	want := make([]int, nInputs)
+	for i := range inputs {
+		inputs[i] = stream.Tensor(shape...)
+		want[i], err = model.Predict(inputs[i])
+		if err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt := milr.NewRuntime(
+		milr.WithSeed(*seed),
+		milr.WithWorkers(*workers),
+		milr.WithBatchSize(*batch),
+		milr.WithMaxBatchDelay(*delay),
+	)
+
+	var prot *milr.Protector
+	var g *milr.Guard
+	if *guard > 0 {
+		fmt.Printf("protecting %s with MILR (initialization runs once)...\n", *net)
+		prot, err = rt.Protect(ctx, model)
+		if err != nil {
+			return err
+		}
+		g, err = rt.Guard(ctx, prot, milr.GuardConfig{Interval: *guard})
+		if err != nil {
+			return err
+		}
+		defer g.Stop()
+	}
+
+	newServer := func(rt *milr.Runtime) (*milr.Server, error) {
+		if prot != nil {
+			return rt.NewGuardedServer(prot)
+		}
+		return rt.NewServer(model)
+	}
+
+	// Fault injector: corruption lands through the Sync mutation gate
+	// while the swarm runs, and the guard heals it between bursts.
+	stopInject := make(chan struct{})
+	defer close(stopInject)
+	if *corrupt > 0 {
+		inj := faults.New(*seed + 2)
+		go func() {
+			ticker := time.NewTicker(2 * *guard)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopInject:
+					return
+				case <-ticker.C:
+					prot.Sync(func() { inj.WholeWeights(model, *corrupt) })
+				}
+			}
+		}()
+	}
+
+	fmt.Printf("%s: %d clients × %d requests, workers=%d\n\n", *net, *clients, *requests, *workers)
+	type runRow struct {
+		name string
+		res  bench.ServeLoadResult
+	}
+	var rows []runRow
+	for _, mode := range []struct {
+		name string
+		rt   *milr.Runtime
+	}{
+		{fmt.Sprintf("coalesced (batch=%d delay=%v)", *batch, *delay), rt},
+		{"uncoalesced (batch=1 delay=0)", rt.With(milr.WithBatchSize(1), milr.WithMaxBatchDelay(0))},
+	} {
+		srv, err := newServer(mode.rt)
+		if err != nil {
+			return err
+		}
+		res, err := bench.RunServeLoad(ctx, srv, inputs, want, *clients, *requests)
+		if cerr := srv.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", mode.name, err)
+		}
+		rows = append(rows, runRow{mode.name, res})
+		printRun(mode.name, res)
+	}
+
+	fmt.Printf("coalesced vs uncoalesced throughput: %.2fx\n",
+		rows[0].res.Throughput/rows[1].res.Throughput)
+	if g != nil {
+		gs := g.Stats()
+		fmt.Printf("guard: %d scrubs, %d detections, %d recoveries, downtime %v\n",
+			gs.Scrubs, gs.ErrorsDetected, gs.Recoveries, gs.Downtime.Round(time.Microsecond))
+	}
+	if *corrupt == 0 {
+		for _, r := range rows {
+			if r.res.Mismatches > 0 {
+				return fmt.Errorf("%s: %d answers diverged from direct Predict on clean weights — bit-identity violated",
+					r.name, r.res.Mismatches)
+			}
+		}
+		fmt.Println("every served answer bit-identical to direct Predict.")
+	}
+	return nil
+}
+
+func printRun(name string, res bench.ServeLoadResult) {
+	st := res.Stats
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  %d requests in %v  →  %.0f req/s\n", res.Requests, res.Elapsed.Round(time.Microsecond), res.Throughput)
+	fmt.Printf("  batches %d, mean fill %.2f, fill histogram %v\n", st.Batches, st.MeanBatchFill, st.BatchFill)
+	fmt.Printf("  latency p50 ≤ %v, p99 ≤ %v", st.P50, st.P99)
+	if res.Mismatches > 0 {
+		fmt.Printf(", %d degraded answers", res.Mismatches)
+	}
+	fmt.Printf("\n\n")
+}

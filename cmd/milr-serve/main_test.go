@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestSmallLoadRuns(t *testing.T) {
+	if err := run([]string{"-net", "tiny", "-clients", "8", "-requests", "6"}); err != nil {
+		t.Fatalf("small load: %v", err)
+	}
+}
+
+func TestGuardedLoadRuns(t *testing.T) {
+	if err := run([]string{
+		"-net", "tiny", "-clients", "4", "-requests", "6",
+		"-guard", "5ms", "-corrupt", "0.001",
+	}); err != nil {
+		t.Fatalf("guarded load: %v", err)
+	}
+}
+
+func TestUnknownNetworkRejected(t *testing.T) {
+	if err := run([]string{"-net", "resnet50"}); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestCorruptWithoutGuardRejected(t *testing.T) {
+	if err := run([]string{"-corrupt", "0.01"}); err == nil {
+		t.Fatal("-corrupt without -guard accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

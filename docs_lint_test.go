@@ -1,0 +1,121 @@
+package milr_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Documentation lint, enforced in CI alongside go vet: every package in
+// the module must carry a package-level godoc comment, and the public
+// surface — the milr façade and the serving subsystem it re-exports —
+// must document every exported symbol, so `go doc milr` reads as a
+// reference rather than a symbol dump. See ISSUE/ARCHITECTURE history:
+// package docs live in doc.go (or the command's main.go for cmd/*).
+
+// fullyDocumented lists the directories where every exported top-level
+// declaration (and every exported method on an exported receiver) must
+// have a doc comment, not just the package itself.
+var fullyDocumented = map[string]bool{
+	".":              true,
+	"internal/serve": true,
+}
+
+func TestDocCoverage(t *testing.T) {
+	pkgs := map[string][]*ast.File{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], file)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var dirs []string
+	for dir := range pkgs {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		files := pkgs[dir]
+		hasPkgDoc := false
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+				break
+			}
+		}
+		if !hasPkgDoc {
+			t.Errorf("%s: package %s has no package-level doc comment (add a doc.go, or document the command in main.go)",
+				dir, files[0].Name.Name)
+		}
+		if !fullyDocumented[dir] {
+			continue
+		}
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				checkDeclDocs(t, fset, decl)
+			}
+		}
+	}
+}
+
+func checkDeclDocs(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		name := d.Name.Name
+		if d.Recv != nil {
+			recv := receiverName(d.Recv)
+			if !ast.IsExported(recv) {
+				return
+			}
+			name = recv + "." + name
+		}
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Doc == nil {
+			t.Errorf("%s: exported %s has no doc comment", fset.Position(d.Pos()), name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+					t.Errorf("%s: exported type %s has no doc comment", fset.Position(s.Pos()), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, id := range s.Names {
+					if id.IsExported() && d.Doc == nil && s.Doc == nil {
+						t.Errorf("%s: exported %s has no doc comment", fset.Position(s.Pos()), id.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -3,7 +3,9 @@
 // style); its weights live in memory encrypted with AES-XTS. A single
 // bit error in the *ciphertext* decrypts into a garbled 16-byte block —
 // four whole weights destroyed at once. SECDED ECC over the plaintext
-// words is helpless against 32-bit errors; MILR recovers them.
+// words is helpless against 32-bit errors; MILR recovers them. In a
+// live deployment this healing runs behind the serving stack of
+// examples/serving (Guard + batch-coalescing Server on one Runtime).
 //
 //	go run ./examples/encrypted-vm
 package main

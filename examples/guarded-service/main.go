@@ -1,8 +1,16 @@
 // Guarded inference service: the deployment shape the paper's
 // availability analysis assumes (§V-E). A protected model serves
-// predictions while a background guard scrubs it on an interval; MILR's
-// golden data is persisted once (the paper's SSD/persistent-memory
-// boundary) and reloaded on restart without re-running initialization.
+// predictions through a batch-coalescing milr.Server while a background
+// guard scrubs it on an interval; MILR's golden data is persisted once
+// (the paper's SSD/persistent-memory boundary) and reloaded on restart
+// without re-running initialization.
+//
+// Everything that touches the weights is serialized correctly: the
+// fault injector writes through Protector.Sync (the mutation gate) and
+// the server runs its batches under the same gate via
+// Runtime.NewGuardedServer, so predictions, scrubs and error bursts
+// interleave race-free. See examples/serving for the same shape under a
+// concurrent client swarm.
 //
 //	go run ./examples/guarded-service
 package main
@@ -74,10 +82,21 @@ func run() error {
 	}
 	defer guard.Stop()
 
+	// The serving front-end: predictions go through the guarded server,
+	// whose batches run inside the engine lock — a scrub observes
+	// quiescent weights, inference observes fully-recovered ones.
+	srv, err := rt.NewGuardedServer(prot)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
 	// Serve predictions while injecting periodic whole-weight errors —
-	// the service keeps answering and the guard keeps healing.
+	// the service keeps answering and the guard keeps healing. The
+	// injection goes through the Sync mutation gate, like any external
+	// writer of protected weights must.
 	probe := prng.New(5).Tensor(12, 12, 1)
-	want, err := model.Predict(probe)
+	want, err := srv.Predict(ctx, probe)
 	if err != nil {
 		return err
 	}
@@ -85,10 +104,10 @@ func run() error {
 	served, wrong := 0, 0
 	for round := 0; round < 4; round++ {
 		// An error burst lands in fault-prone memory.
-		inj.WholeWeights(model, 0.003)
+		prot.Sync(func() { inj.WholeWeights(model, 0.003) })
 		deadline := time.Now().Add(120 * time.Millisecond)
 		for time.Now().Before(deadline) {
-			got, err := model.Predict(probe)
+			got, err := srv.Predict(ctx, probe)
 			if err != nil {
 				return err
 			}
@@ -106,7 +125,7 @@ func run() error {
 	// Availability over the run: downtime / wall time.
 	avail := 1 - stats.Downtime.Seconds()/(0.48)
 	fmt.Printf("availability ≈ %.4f%%\n", 100*math.Max(0, avail))
-	final, err := model.Predict(probe)
+	final, err := srv.Predict(ctx, probe)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,9 @@
 // replaces an entire layer's parameters with random values to force
 // misclassification (the paper's §V whole-layer experiment, Tables
 // IV/VI/VIII). MILR detects the tampering and re-solves the layer from
-// its golden input/output pair.
+// its golden input/output pair. Protection is attached through
+// milr.Runtime (milr.NewRuntime(...).Protect(ctx, model)), like every
+// example in this repository.
 //
 //	go run ./examples/layer-attack
 package main

@@ -1,8 +1,13 @@
 // Quickstart: protect a small CNN with MILR, corrupt a weight the way a
 // plaintext-space memory error would (every bit flipped), and watch the
-// network self-heal.
+// network self-heal. Everything goes through one milr.Runtime — the
+// configuration root the whole public API hangs off.
 //
 //	go run ./examples/quickstart
+//
+// Next steps: examples/serving puts a batch-coalescing Server and a
+// self-healing Guard in front of the same Runtime — the full
+// deployment shape.
 package main
 
 import (

@@ -6,8 +6,11 @@
 //
 //	go run ./examples/selfheal
 //
-// The MNIST network has 1.67M parameters; on one CPU core this example
-// takes a couple of minutes (training dominates).
+// Accuracy is measured with Runtime.Evaluate, the batch-first path that
+// stacks each chunk of samples into one GEMM per layer — the same
+// kernels the serving front-end (examples/serving) batches requests
+// into. The MNIST network has 1.67M parameters; on one CPU core this
+// example takes a couple of minutes (training dominates).
 package main
 
 import (

@@ -1,15 +1,3 @@
-// Package bench is the experiment harness: it regenerates every table
-// and figure in the paper's evaluation (§V) — the RBER sweeps (Figures
-// 5/7/9), whole-weight sweeps (Figures 6/8/10), whole-layer corruption
-// tables (IV/VI/VIII), storage tables (V/VII/IX), the timing table (X),
-// the recovery-time curve (Figure 11), and the availability–accuracy
-// trade-off (Figure 12).
-//
-// Scale knobs: the paper ran 40 injections per error-rate point against
-// TensorFlow on a GPU; this reproduction runs on one CPU core, so Config
-// defaults are scaled down and `-full` (cmd/milr-bench) restores paper
-// scale. The estimators are identical; only the confidence intervals
-// widen.
 package bench
 
 import (

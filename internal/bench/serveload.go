@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"milr/internal/serve"
+	"milr/internal/tensor"
+)
+
+// Serving load generation: a closed-loop client swarm against one
+// serve.Server, used by cmd/milr-serve and the BenchmarkServer* benches
+// to measure coalesced vs. uncoalesced throughput. Closed-loop means
+// each client issues its next request only after the previous answer —
+// the natural model for the paper's deployment story, and the one under
+// which coalescing shows up directly as batch fill.
+
+// ServeLoadResult summarizes one load run.
+type ServeLoadResult struct {
+	// Clients and PerClient echo the request mix.
+	Clients, PerClient int
+	// Requests is Clients × PerClient.
+	Requests int
+	// Elapsed is the wall-clock of the whole swarm.
+	Elapsed time.Duration
+	// Throughput is Requests / Elapsed, in requests per second.
+	Throughput float64
+	// Mismatches counts answers that differed from the caller-supplied
+	// expected classes. Zero whenever the weights were clean for the
+	// whole run (coalescing is bit-identical to direct inference);
+	// under live fault injection a degraded answer is counted, not an
+	// error.
+	Mismatches int64
+	// Stats is the server's lifetime snapshot taken after the run (it
+	// accumulates across runs that share a server).
+	Stats serve.Stats
+}
+
+// RunServeLoad drives clients concurrent goroutines, each issuing
+// perClient Predict calls round-robin over inputs, and reports
+// throughput plus the server's stats snapshot. want, when non-nil,
+// must hold the expected class per input (same indexing as inputs);
+// answers are then checked and divergences counted as Mismatches.
+func RunServeLoad(ctx context.Context, srv *serve.Server, inputs []*tensor.Tensor, want []int, clients, perClient int) (ServeLoadResult, error) {
+	if srv == nil {
+		return ServeLoadResult{}, fmt.Errorf("bench: serve load needs a server")
+	}
+	if len(inputs) == 0 {
+		return ServeLoadResult{}, fmt.Errorf("bench: serve load needs at least one input")
+	}
+	if clients < 1 || perClient < 1 {
+		return ServeLoadResult{}, fmt.Errorf("bench: serve load needs clients >= 1 and perClient >= 1, got %d/%d", clients, perClient)
+	}
+	if want != nil && len(want) != len(inputs) {
+		return ServeLoadResult{}, fmt.Errorf("bench: %d expected classes for %d inputs", len(want), len(inputs))
+	}
+	var mismatches atomic.Int64
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				idx := (c*perClient + r) % len(inputs)
+				got, err := srv.Predict(ctx, inputs[idx])
+				if err != nil {
+					errs[c] = fmt.Errorf("bench: serve client %d request %d: %w", c, r, err)
+					return
+				}
+				if want != nil && got != want[idx] {
+					mismatches.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServeLoadResult{}, err
+		}
+	}
+	n := clients * perClient
+	res := ServeLoadResult{
+		Clients:    clients,
+		PerClient:  perClient,
+		Requests:   n,
+		Elapsed:    elapsed,
+		Mismatches: mismatches.Load(),
+		Stats:      srv.Stats(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Throughput = float64(n) / sec
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package bench_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"milr/internal/bench"
+	"milr/internal/nn"
+	"milr/internal/prng"
+	"milr/internal/serve"
+	"milr/internal/tensor"
+)
+
+func TestRunServeLoad(t *testing.T) {
+	m, err := nn.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(42)
+	stream := prng.New(3)
+	inputs := make([]*tensor.Tensor, 8)
+	want := make([]int, 8)
+	for i := range inputs {
+		inputs[i] = stream.Tensor(12, 12, 1)
+		want[i], err = m.Predict(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := serve.New(m, serve.Config{BatchSize: 4, MaxDelay: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := bench.RunServeLoad(context.Background(), srv, inputs, want, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 48 || res.Stats.Served != 48 {
+		t.Fatalf("requests %d served %d, want 48/48", res.Requests, res.Stats.Served)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d mismatches against direct predictions on clean weights", res.Mismatches)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("non-positive throughput %v", res.Throughput)
+	}
+	if res.Stats.MeanBatchFill <= 1 {
+		t.Fatalf("closed-loop swarm of 8 clients did not coalesce: %+v", res.Stats)
+	}
+}
+
+func TestRunServeLoadValidation(t *testing.T) {
+	m, err := nn.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(1)
+	srv, err := serve.New(m, serve.Config{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	x := prng.New(1).Tensor(12, 12, 1)
+	ctx := context.Background()
+	if _, err := bench.RunServeLoad(ctx, nil, []*tensor.Tensor{x}, nil, 1, 1); err == nil {
+		t.Fatal("nil server accepted")
+	}
+	if _, err := bench.RunServeLoad(ctx, srv, nil, nil, 1, 1); err == nil {
+		t.Fatal("empty input set accepted")
+	}
+	if _, err := bench.RunServeLoad(ctx, srv, []*tensor.Tensor{x}, []int{1, 2}, 1, 1); err == nil {
+		t.Fatal("mis-sized want accepted")
+	}
+	if _, err := bench.RunServeLoad(ctx, srv, []*tensor.Tensor{x}, nil, 0, 5); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}

@@ -1,0 +1,35 @@
+// Package core implements MILR — Mathematically Induced Layer Recovery —
+// the contribution of the DSN 2021 paper this repository reproduces.
+//
+// MILR exploits the algebraic relationship between each CNN layer's
+// input x, parameters p and output y:
+//
+//	f(x, p) = y          (forward pass)
+//	f⁻¹(y, p) = x        (backward pass, when invertible)
+//	R(x, y) = p          (parameter solving)
+//
+// The engine has the paper's three phases (§III):
+//
+//   - Initialization: plan checkpoint placement, store partial
+//     checkpoints, full checkpoints at non-invertible boundaries, dummy
+//     data (seeded-PRNG regenerable, only outputs stored), bias sums and
+//     2-D CRC codes.
+//   - Error detection: regenerate each layer's pseudo-random input,
+//     forward it through that layer alone, and compare against the
+//     partial checkpoint.
+//   - Error recovery: move golden tensors from the nearest checkpoints to
+//     the erroneous layer with forward and inverse passes, then call the
+//     layer's parameter-recovery function R.
+//
+// Concurrency contract (see ARCHITECTURE.md): the Protector's engine
+// lock serializes whole phases against each other and against external
+// weight mutation routed through Protector.Sync; the engine's internal
+// parallelism (Options.Workers — concurrent layer scrubs, per-filter /
+// per-column solves, init rank probes) runs inside the lock and is
+// bit-identical to serial at every worker count. Every long-running
+// phase has a ...Context form whose cancellation is layer-atomic: each
+// flagged layer is either untouched or fully re-solved, never
+// half-written. Guard wraps the phases into the deployment scrub loop,
+// and the serving front-end (internal/serve) interleaves with it by
+// running inference batches under the same lock.
+package core

@@ -1,25 +1,3 @@
-// Package core implements MILR — Mathematically Induced Layer Recovery —
-// the contribution of the DSN 2021 paper this repository reproduces.
-//
-// MILR exploits the algebraic relationship between each CNN layer's
-// input x, parameters p and output y:
-//
-//	f(x, p) = y          (forward pass)
-//	f⁻¹(y, p) = x        (backward pass, when invertible)
-//	R(x, y) = p          (parameter solving)
-//
-// The engine has the paper's three phases (§III):
-//
-//   - Initialization: plan checkpoint placement, store partial
-//     checkpoints, full checkpoints at non-invertible boundaries, dummy
-//     data (seeded-PRNG regenerable, only outputs stored), bias sums and
-//     2-D CRC codes.
-//   - Error detection: regenerate each layer's pseudo-random input,
-//     forward it through that layer alone, and compare against the
-//     partial checkpoint.
-//   - Error recovery: move golden tensors from the nearest checkpoints to
-//     the erroneous layer with forward and inverse passes, then call the
-//     layer's parameter-recovery function R.
 package core
 
 import (
@@ -53,7 +31,7 @@ type Options struct {
 	// used for dense parameter solving. The paper used unstructured
 	// random dummy input and leaned on GPU lstsq; a banded system has
 	// identical storage cost (the dummy *outputs* are what is stored)
-	// but solves in O(N·band) per column on a CPU. See DESIGN.md.
+	// but solves in O(N·band) per column on a CPU. See ARCHITECTURE.md (deviations).
 	DenseBand int
 	// CRCGroup is the 2-D CRC group size (the paper uses 4).
 	CRCGroup int

@@ -18,7 +18,7 @@ import (
 // outputs are computed once at initialization and stored — the dominant
 // storage cost in the paper's Tables V/VII/IX.
 //
-// Deviation from the paper (documented in DESIGN.md): the paper's dummy
+// Deviation from the paper (see ARCHITECTURE.md, deviations): the paper's dummy
 // input is unstructured random and the authors solved the resulting
 // N-unknown systems with GPU lstsq. We draw the dummy input as a banded
 // upper-triangular pseudo-random matrix: the storage cost is identical

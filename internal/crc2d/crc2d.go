@@ -1,15 +1,3 @@
-// Package crc2d implements the two-dimensional CRC error coding MILR
-// uses to localize erroneous weights inside a convolution layer's
-// parameter tensor (paper §IV-B-c, Figure 4, after Kim et al.'s 2-D
-// error coding): "we use cyclic redundancy check (CRC) horizontally and
-// vertically on sets of 4 parameters, along the last two axis of the 4D
-// parameter matrix."
-//
-// A cell is flagged as suspect when both its horizontal group CRC and its
-// vertical group CRC mismatch. Isolated errors are localized exactly;
-// aligned multi-errors can produce false positives, which is harmless for
-// recovery (a false positive just adds one solvable unknown) and is
-// measured by this package's tests.
 package crc2d
 
 import (

@@ -1,16 +1,3 @@
-// Package dataset generates the deterministic synthetic image
-// classification datasets this reproduction trains and evaluates on.
-//
-// The paper used MNIST and CIFAR-10; this module is offline, so we
-// substitute synthetic datasets with matching tensor shapes (28×28×1 and
-// 32×32×3, 10 classes). Each class is defined by a smooth pseudo-random
-// template; samples are the template plus per-sample jitter (shift,
-// amplitude scaling, additive noise). The templates are well separated by
-// construction, so small training budgets reach high accuracy — which is
-// what the paper's metric needs: every evaluation reports accuracy
-// *normalized to the error-free network*, so the relative degradation and
-// recovery behaviour, not the absolute dataset difficulty, is what
-// matters. (See DESIGN.md, substitution table.)
 package dataset
 
 import (

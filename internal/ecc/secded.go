@@ -1,13 +1,3 @@
-// Package ecc implements the SECDED (39,32) Hamming code the paper
-// compares MILR against: "This (39,32) code requires 7 additional ECC
-// bits for each 32-bit word that coincides with a single parameter,
-// allowing error recovery for any parameter if a single bit of it is
-// corrupted. In the case of more than 1 bit error no correction occurs
-// and interrupts is not raised" (§V-A).
-//
-// The code is an extended Hamming code: 6 check bits cover the 38-bit
-// Hamming codeword (32 data + 6 check), and a 7th overall-parity bit
-// upgrades single-error-correction to double-error-detection.
 package ecc
 
 import "fmt"

@@ -1,12 +1,3 @@
-// Package linalg contains the dense float64 linear algebra MILR's
-// parameter-recovery functions are built on: LU factorization with
-// partial pivoting for square systems, and least-squares solvers (normal
-// equations for overdetermined systems, minimum-norm for underdetermined
-// ones, mirroring the paper's lstsq fallback for whole-layer conv
-// corruption, §V-B).
-//
-// Everything is hand-rolled on flat row-major float64 slices; the module
-// is stdlib-only by design.
 package linalg
 
 import (

@@ -1,23 +1,3 @@
-// Package nn is a from-scratch CNN inference and training stack: the
-// substrate the MILR paper assumes (it used TensorFlow; this module is
-// offline and stdlib-only, so the network engine is hand-rolled).
-//
-// It provides the four major CNN layer types the paper targets —
-// convolution, dense, pooling, and activation (§IV) — plus the bias,
-// flatten, and dropout layers its evaluation networks use. Bias is
-// modelled as an independent layer exactly as the paper treats it
-// ("it has its own mathematical operation, and its own relationship
-// between its input, output and parameters", §IV-E).
-//
-// Every layer supports three execution modes:
-//
-//   - Forward: normal inference.
-//   - RecoveryForward: the deterministic pass MILR uses during
-//     initialization, detection and recovery, in which activation layers
-//     are treated as identity (§IV-D) so golden tensors are reproducible
-//     algebraic functions of the parameters.
-//   - ForwardTrain/Backward: backpropagation, so evaluation networks can
-//     actually be trained on the synthetic datasets.
 package nn
 
 import (

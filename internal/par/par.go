@@ -1,18 +1,3 @@
-// Package par provides the bounded worker pools behind every parallel
-// path in this repository: batched GEMM inference, concurrent layer
-// scrubbing and recovery, and sharded fault-injection campaigns.
-//
-// Design rules, enforced here once so callers inherit them:
-//
-//   - Pools are bounded: a zero/negative worker request resolves to
-//     GOMAXPROCS, never more. Explicit positive requests are honored
-//     as-is so tests can inject worker counts (e.g. 2 on a 1-core CI
-//     box) and prove parallel–serial equivalence.
-//   - Pools are joined: every function returns only after all workers
-//     have exited. No goroutine outlives the call.
-//   - Results are deterministic: work is addressed by index, errors are
-//     reported lowest-index-first, and nothing depends on scheduling
-//     order.
 package par
 
 import (

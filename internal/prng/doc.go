@@ -1,0 +1,16 @@
+// Package prng provides the seeded, deterministic pseudo-random number
+// streams MILR depends on. The paper's key storage optimization is that
+// golden inputs, dummy input rows, dummy dense columns, and dummy
+// convolution filters never need to be stored — only their seed does,
+// because the stream can be regenerated bit-identically at detection and
+// recovery time (paper §III).
+//
+// The generator is xoshiro256**, hand-rolled so the byte-exact stream is
+// owned by this repository and can never drift under a Go stdlib change
+// (math/rand's stream is not covered by the compatibility promise across
+// seed semantics). Determinism across runs is load-bearing: a drifting
+// stream would make every stored checkpoint useless. Every deterministic
+// tensor the engine regenerates is keyed by (master seed, tag), which is
+// also what makes sharded campaign cells byte-identical at any worker
+// count (internal/bench).
+package prng

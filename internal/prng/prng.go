@@ -1,15 +1,3 @@
-// Package prng provides the seeded, deterministic pseudo-random number
-// streams MILR depends on. The paper's key storage optimization is that
-// golden inputs, dummy input rows, dummy dense columns, and dummy
-// convolution filters never need to be stored — only their seed does,
-// because the stream can be regenerated bit-identically at detection and
-// recovery time (paper §III).
-//
-// The generator is xoshiro256**, hand-rolled so the byte-exact stream is
-// owned by this repository and can never drift under a Go stdlib change
-// (math/rand's stream is not covered by the compatibility promise across
-// seed semantics). Determinism across runs is load-bearing: a drifting
-// stream would make every stored checkpoint useless.
 package prng
 
 import (

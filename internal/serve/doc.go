@@ -1,0 +1,40 @@
+// Package serve is the batch-coalescing inference front-end: it turns
+// many concurrent single-sample Predict calls into few large
+// Model.ForwardBatch GEMMs, which is where the multi-core inference win
+// lives (a stacked (B·G²)-row product keeps a worker pool busy where B
+// separate (G²)-row products starve it — see internal/nn/batch.go).
+//
+// The Server owns a FIFO admission queue and one dispatcher goroutine.
+// Admission never computes anything: Predict/PredictBatch validate the
+// input shape, append a request to the queue, and block until the
+// dispatcher answers (or the request's own context is done). The
+// dispatcher coalesces up to Config.BatchSize requests per batch,
+// waiting at most Config.MaxDelay after the first request of a window
+// for stragglers, then runs exactly one ForwardBatch for the whole
+// batch and demultiplexes the per-sample results.
+//
+// Invariants, pinned by serve_test.go and the façade tests:
+//
+//   - Bit identity: a coalesced answer equals the answer a direct
+//     Model.Predict call would give, to the last bit, at every batch
+//     size and worker count. This is inherited from the ForwardBatch
+//     contract (internal/nn/batch_equiv_test.go) — coalescing is purely
+//     a throughput/latency trade, never an accuracy one.
+//   - Cancellation isolation: a request whose context is cancelled is
+//     dropped from its batch at flush time and answered with the
+//     context's error; the other requests in the batch are unaffected.
+//   - Scrub interleaving: with Config.Gate set to Protector.Sync, batch
+//     execution serializes against the MILR engine's detect/recover
+//     cycles (a scrub observes quiescent weights, inference observes
+//     fully-recovered ones), while admission keeps accepting requests —
+//     a self-heal pause delays answers, it never refuses them.
+//   - Clean shutdown: Close rejects new admissions, drains every
+//     already-admitted request, and returns once the dispatcher has
+//     exited. No request is silently lost.
+//
+// The package sits between the public façade (milr.Runtime.NewServer /
+// NewGuardedServer construct Servers) and the inference substrate
+// (internal/nn); it deliberately knows nothing about the MILR engine
+// beyond the opaque Gate hook. See ARCHITECTURE.md for the full layer
+// map.
+package serve

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// ErrClosed is returned by Predict and PredictBatch once Close has been
+// called. Requests admitted before Close are still served.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config configures New.
+type Config struct {
+	// BatchSize is the largest number of requests coalesced into one
+	// ForwardBatch GEMM. Values below 1 clamp to 1 (no coalescing).
+	BatchSize int
+	// MaxDelay bounds how long the dispatcher waits after the first
+	// request of a batch window for more requests to coalesce. Zero
+	// means no waiting: the dispatcher still coalesces whatever has
+	// already queued up (greedy coalescing under backlog) but never
+	// holds a request back to fill a batch.
+	MaxDelay time.Duration
+	// Gate, when non-nil, wraps every batch execution. The façade sets
+	// it to Protector.Sync for guarded servers, which serializes
+	// inference batches against the engine's detect/recover cycles:
+	// a scrub observes quiescent weights and inference observes
+	// fully-recovered ones, while admission keeps accepting requests.
+	Gate func(func())
+}
+
+// request is one admitted sample waiting to be batched.
+type request struct {
+	x   *tensor.Tensor
+	ctx context.Context
+	enq time.Time
+	// done receives exactly one result. Buffered so the dispatcher
+	// never blocks on a caller that abandoned the request.
+	done chan result
+}
+
+type result struct {
+	class int
+	err   error
+}
+
+// Server coalesces concurrent Predict calls into batched GEMMs over one
+// model. Build one with New (or the milr façade's Runtime.NewServer /
+// Runtime.NewGuardedServer); it is safe for concurrent use by any
+// number of client goroutines. Call Close to shut it down.
+type Server struct {
+	model     *nn.Model
+	inShape   tensor.Shape
+	batchSize int
+	maxDelay  time.Duration
+	gate      func(func())
+
+	mu      sync.Mutex
+	pending []*request
+	closed  bool
+
+	// notify carries "the queue changed" wake-ups to the dispatcher; a
+	// buffer of one is enough because the dispatcher re-examines the
+	// whole queue on every wake-up.
+	notify chan struct{}
+	done   chan struct{}
+
+	stats collector
+}
+
+// New builds a Server over a model and starts its dispatcher goroutine.
+// The model's weights are only read (through Config.Gate when set), so
+// one model may back a Server and a MILR Guard at the same time.
+func New(m *nn.Model, cfg Config) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.MaxDelay < 0 {
+		cfg.MaxDelay = 0
+	}
+	s := &Server{
+		model:     m,
+		inShape:   m.InShape(),
+		batchSize: cfg.BatchSize,
+		maxDelay:  cfg.MaxDelay,
+		gate:      cfg.Gate,
+		notify:    make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	s.stats.fill = make([]int64, cfg.BatchSize)
+	go s.run()
+	return s, nil
+}
+
+// Predict enqueues one sample and blocks until its batch has been
+// served. The answer is bit-identical to a direct Model.Predict call.
+// If ctx is done before the batch executes, Predict returns ctx's error
+// and the request is dropped from its batch without affecting the other
+// requests in it.
+func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (int, error) {
+	r, err := s.enqueue(ctx, x)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case res := <-r.done:
+		return res.class, res.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// PredictBatch enqueues every sample of xs individually — so a caller's
+// samples coalesce with other callers' — and blocks until all are
+// answered, returning the classes in input order. On the first error
+// the remaining answers are discarded (their buffered result channels
+// make that safe) and the error is returned.
+func (s *Server) PredictBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	reqs := make([]*request, len(xs))
+	for i, x := range xs {
+		r, err := s.enqueue(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = r
+	}
+	out := make([]int, len(xs))
+	for i, r := range reqs {
+		select {
+		case res := <-r.done:
+			if res.err != nil {
+				return nil, res.err
+			}
+			out[i] = res.class
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// Close stops admission, serves every request admitted before the call,
+// and returns once the dispatcher goroutine has exited. Safe to call
+// more than once; later calls just wait for the shutdown to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wake()
+	<-s.done
+	return nil
+}
+
+// Stats returns a snapshot of the server's counters, batch-fill
+// histogram and latency quantiles. See Stats for field semantics.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot()
+}
+
+// enqueue validates x and appends an admission-queue entry. Validation
+// happens here, per request, so one malformed input is rejected at the
+// door instead of failing the whole batch it would have joined.
+func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*request, error) {
+	if x == nil {
+		return nil, fmt.Errorf("serve: nil input")
+	}
+	if !x.Shape().Equal(s.inShape) {
+		return nil, fmt.Errorf("serve: input shape %v does not match model input shape %v", x.Shape(), s.inShape)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := &request{x: x, ctx: ctx, enq: time.Now(), done: make(chan result, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.pending = append(s.pending, r)
+	// Counted before the request becomes visible to the dispatcher, so
+	// a Stats snapshot can never show Served > Admitted or a negative
+	// QueueDepth. The collector's mutex is a leaf lock.
+	s.stats.admit()
+	s.mu.Unlock()
+	s.wake()
+	return r, nil
+}
+
+// wake nudges the dispatcher; a full buffer means a wake-up is already
+// pending, which is just as good.
+func (s *Server) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take moves up to batchSize-len(batch) queued requests (FIFO) into
+// batch and reports whether the server is closed.
+func (s *Server) take(batch []*request) ([]*request, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.batchSize - len(batch)
+	if n > len(s.pending) {
+		n = len(s.pending)
+	}
+	if n > 0 {
+		batch = append(batch, s.pending[:n]...)
+		s.pending = s.pending[n:]
+	}
+	return batch, s.closed
+}
+
+// run is the dispatcher: one goroutine that owns batching policy and
+// batch execution. Serving batches sequentially is deliberate — each
+// batch is a single GEMM that already fans out across the model's
+// worker pool, so a second in-flight batch would only fight it for
+// cores — and it is what lets a Gate serialize serving against engine
+// scrubs without any further locking.
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		batch, closed := s.take(nil)
+		if len(batch) == 0 {
+			if closed {
+				return
+			}
+			<-s.notify
+			continue
+		}
+		// Coalescing window: hold the partial batch at most maxDelay
+		// past the first take, absorbing new arrivals, and flush early
+		// the moment it fills. A closing server flushes immediately.
+		if s.maxDelay > 0 && len(batch) < s.batchSize && !closed {
+			timer := time.NewTimer(s.maxDelay)
+		window:
+			for len(batch) < s.batchSize {
+				select {
+				case <-s.notify:
+					if batch, closed = s.take(batch); closed {
+						break window
+					}
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		}
+		s.execute(batch)
+	}
+}
+
+// execute answers one coalesced batch: requests whose context is
+// already done are dropped (answered with their context's error), the
+// survivors run through one Model.PredictBatch — under the gate when
+// configured — and each gets its own result back.
+func (s *Server) execute(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- result{err: err}
+			s.stats.cancel()
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	xs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		xs[i] = r.x
+	}
+	var preds []int
+	var err error
+	runBatch := func() { preds, err = s.model.PredictBatch(xs) }
+	if s.gate != nil {
+		s.gate(runBatch)
+	} else {
+		runBatch()
+	}
+	now := time.Now()
+	if err != nil {
+		err = fmt.Errorf("serve: batch of %d failed: %w", len(live), err)
+		for _, r := range live {
+			r.done <- result{err: err}
+		}
+		s.stats.fail(len(live))
+		return
+	}
+	lats := make([]time.Duration, len(live))
+	for i, r := range live {
+		lats[i] = now.Sub(r.enq)
+		r.done <- result{class: preds[i]}
+	}
+	s.stats.serve(len(live), lats)
+}

@@ -1,0 +1,353 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"milr/internal/nn"
+	"milr/internal/prng"
+	"milr/internal/serve"
+	"milr/internal/tensor"
+)
+
+// tinyModel builds the deterministic test network and the direct
+// (unserved) predictions the server must reproduce bit-identically.
+func tinyModel(t *testing.T, nInputs int) (*nn.Model, []*tensor.Tensor, []int) {
+	t.Helper()
+	m, err := nn.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(42)
+	stream := prng.New(7)
+	xs := make([]*tensor.Tensor, nInputs)
+	want := make([]int, nInputs)
+	for i := range xs {
+		xs[i] = stream.Tensor(12, 12, 1)
+		want[i], err = m.Predict(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, xs, want
+}
+
+// brake is a Config.Gate that parks the dispatcher until the test
+// releases it, making batch boundaries deterministic: while one batch
+// is parked inside the gate, the test can queue exactly the requests it
+// wants coalesced into the next one.
+type brake struct {
+	entered chan struct{} // one token per execute() entering the gate
+	release chan struct{} // one token lets one execute() proceed
+}
+
+func newBrake() *brake {
+	return &brake{entered: make(chan struct{}, 64), release: make(chan struct{}, 64)}
+}
+
+func (b *brake) gate(fn func()) {
+	b.entered <- struct{}{}
+	<-b.release
+	fn()
+}
+
+func waitAdmitted(t *testing.T, s *serve.Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Admitted < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d admissions (stats %+v)", n, s.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestPredictMatchesDirect(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m, xs, want := tinyModel(t, 16)
+		m.SetWorkers(workers)
+		s, err := serve.New(m, serve.Config{BatchSize: 4, MaxDelay: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for i, x := range xs {
+			got, err := s.Predict(ctx, x)
+			if err != nil {
+				t.Fatalf("workers=%d predict %d: %v", workers, i, err)
+			}
+			if got != want[i] {
+				t.Fatalf("workers=%d predict %d: served %d, direct %d", workers, i, got, want[i])
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		if st.Served != 16 || st.Admitted != 16 {
+			t.Fatalf("served %d admitted %d, want 16/16", st.Served, st.Admitted)
+		}
+	}
+}
+
+func TestGreedyCoalescingUnderBacklog(t *testing.T) {
+	// MaxDelay 0: the server must still coalesce requests that queued
+	// up while a previous batch was executing. The brake holds batch 1
+	// (a single request) inside the gate while eight more arrive; they
+	// must all land in batch 2.
+	m, xs, want := tinyModel(t, 9)
+	br := newBrake()
+	s, err := serve.New(m, serve.Config{BatchSize: 8, MaxDelay: 0, Gate: br.gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	got := make([]int, len(xs))
+	errs := make([]error, len(xs))
+	predict := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = s.Predict(ctx, xs[i])
+		}()
+	}
+	predict(0)
+	<-br.entered // batch 1 (request 0 alone) is parked in the gate
+	for i := 1; i < 9; i++ {
+		predict(i)
+	}
+	waitAdmitted(t, s, 9)
+	br.release <- struct{}{} // run batch 1
+	<-br.entered             // batch 2 (requests 1..8) reached the gate
+	br.release <- struct{}{}
+	wg.Wait()
+	for i := range xs {
+		if errs[i] != nil {
+			t.Fatalf("predict %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("predict %d: served %d, direct %d", i, got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 2 {
+		t.Fatalf("batches = %d, want 2 (stats %+v)", st.Batches, st)
+	}
+	if st.BatchFill[0] != 1 || st.BatchFill[7] != 1 {
+		t.Fatalf("batch-fill histogram %v, want one 1-batch and one 8-batch", st.BatchFill)
+	}
+	if st.MeanBatchFill != 4.5 {
+		t.Fatalf("mean batch fill = %v, want 4.5", st.MeanBatchFill)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelledRequestDoesNotPoisonBatch(t *testing.T) {
+	m, xs, want := tinyModel(t, 4)
+	br := newBrake()
+	s, err := serve.New(m, serve.Config{BatchSize: 8, MaxDelay: 0, Gate: br.gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Park a throwaway batch in the gate so the interesting requests
+	// coalesce deterministically behind it.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := s.Predict(context.Background(), xs[0])
+		firstDone <- err
+	}()
+	<-br.entered
+
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var cancelledErr error
+	go func() {
+		defer wg.Done()
+		_, cancelledErr = s.Predict(cancelCtx, xs[1])
+	}()
+	got := make([]int, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = s.Predict(context.Background(), xs[2+i])
+		}()
+	}
+	waitAdmitted(t, s, 4)
+	cancel() // cancelled strictly before its batch flushes
+	br.release <- struct{}{}
+	<-br.entered // batch 2: the cancelled request has been dropped
+	br.release <- struct{}{}
+	wg.Wait()
+	if err := <-firstDone; err != nil {
+		t.Fatalf("throwaway predict: %v", err)
+	}
+	if !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", cancelledErr)
+	}
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("live request %d: %v", i, errs[i])
+		}
+		if got[i] != want[2+i] {
+			t.Fatalf("live request %d: served %d, direct %d — cancelled neighbour poisoned the batch", i, got[i], want[2+i])
+		}
+	}
+	st := s.Stats()
+	if st.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1 (stats %+v)", st.Cancelled, st)
+	}
+	// Batch 2 executed the two survivors: the cancelled request must
+	// not occupy a batch slot.
+	if st.BatchFill[1] != 1 {
+		t.Fatalf("batch-fill histogram %v, want one 2-batch for the survivors", st.BatchFill)
+	}
+}
+
+func TestTimerFlushCoalesces(t *testing.T) {
+	// Four concurrent clients against a batch size of 8: the window
+	// timer (not batch-full) must flush them as one batch.
+	m, xs, want := tinyModel(t, 4)
+	s, err := serve.New(m, serve.Config{BatchSize: 8, MaxDelay: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	got := make([]int, 4)
+	errs := make([]error, 4)
+	for i := range xs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = s.Predict(context.Background(), xs[i])
+		}()
+	}
+	wg.Wait()
+	for i := range xs {
+		if errs[i] != nil {
+			t.Fatalf("predict %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("predict %d: served %d, direct %d", i, got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.BatchFill[3] != 1 {
+		t.Fatalf("expected one 4-filled batch, got %+v", st)
+	}
+	if st.P50 <= 0 || st.P99 < st.P50 {
+		t.Fatalf("latency quantiles out of order: p50=%v p99=%v", st.P50, st.P99)
+	}
+}
+
+func TestPredictBatchKeepsOrder(t *testing.T) {
+	m, xs, want := tinyModel(t, 16)
+	s, err := serve.New(m, serve.Config{BatchSize: 4, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.PredictBatch(context.Background(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: served %d, direct %d", i, got[i], want[i])
+		}
+	}
+	if _, err := s.PredictBatch(context.Background(), nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestAdmissionValidation(t *testing.T) {
+	m, xs, _ := tinyModel(t, 1)
+	s, err := serve.New(m, serve.Config{BatchSize: 2, MaxDelay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Predict(ctx, nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := s.Predict(ctx, tensor.New(3, 3, 1)); err == nil {
+		t.Fatal("wrong-shape input accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.Predict(cancelled, xs[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context admitted: %v", err)
+	}
+	if _, err := serve.New(nil, serve.Config{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestCloseDrainsAdmittedRequests(t *testing.T) {
+	m, xs, want := tinyModel(t, 6)
+	br := newBrake()
+	s, err := serve.New(m, serve.Config{BatchSize: 8, MaxDelay: 0, Gate: br.gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]int, len(xs))
+	errs := make([]error, len(xs))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got[0], errs[0] = s.Predict(context.Background(), xs[0])
+	}()
+	<-br.entered // batch 1 parked; the rest will be drained by Close
+	for i := 1; i < 6; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = s.Predict(context.Background(), xs[i])
+		}()
+	}
+	waitAdmitted(t, s, 6)
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- s.Close() }()
+	br.release <- struct{}{} // run parked batch 1
+	<-br.entered             // drain batch with requests 1..5
+	br.release <- struct{}{}
+	if err := <-closeDone; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if _, err := s.Predict(context.Background(), xs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("admission after Close returned %v, want ErrClosed", err)
+	}
+	st := s.Stats()
+	if st.Served != 6 || st.BatchFill[4] != 1 {
+		t.Fatalf("drain did not serve the admitted requests: %+v", st)
+	}
+	for i := range xs {
+		if errs[i] != nil {
+			t.Fatalf("request %d admitted before Close was not served: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("request %d: served %d, direct %d", i, got[i], want[i])
+		}
+	}
+	if err := s.Close(); err != nil { // second Close is a no-op
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of a Server's counters. All fields
+// describe the whole lifetime of the server up to the snapshot.
+type Stats struct {
+	// Admitted counts requests accepted into the queue.
+	Admitted int64
+	// Served counts requests answered with a prediction.
+	Served int64
+	// Cancelled counts requests dropped at flush time because their
+	// context was done. Callers that gave up waiting are counted here
+	// too, once their batch flushes.
+	Cancelled int64
+	// Failed counts requests answered with a batch-execution error.
+	Failed int64
+	// Batches counts ForwardBatch invocations (coalesced GEMM rounds).
+	Batches int64
+	// BatchFill is the coalescing histogram: BatchFill[i] batches
+	// executed with i+1 requests. Its length is the configured batch
+	// size, so the last bucket counts full batches.
+	BatchFill []int64
+	// MeanBatchFill is the mean executed batch size — the direct
+	// measure of how much coalescing happened (1.0 = none).
+	MeanBatchFill float64
+	// QueueDepth is the number of requests admitted but not yet
+	// answered at snapshot time (queued or in the in-flight batch).
+	QueueDepth int
+	// P50 and P99 are approximate latency quantiles over served
+	// requests, measured from admission to answer. They are read from
+	// a power-of-two bucket histogram, so each is an upper bound that
+	// is at most 2× the true quantile.
+	P50, P99 time.Duration
+}
+
+// latBuckets spans latencies from 1ns to ~4.6h in power-of-two buckets;
+// bucket i counts latencies with bit length i (i.e. in [2^(i-1), 2^i)).
+const latBuckets = 45
+
+// collector accumulates Stats under its own lock so recording never
+// contends with the admission path's queue lock.
+type collector struct {
+	mu          sync.Mutex
+	admitted    int64
+	served      int64
+	cancelled   int64
+	failed      int64
+	batches     int64
+	fillSum     int64
+	outstanding int64
+	fill        []int64
+	lat         [latBuckets]int64
+}
+
+func (c *collector) admit() {
+	c.mu.Lock()
+	c.admitted++
+	c.outstanding++
+	c.mu.Unlock()
+}
+
+func (c *collector) cancel() {
+	c.mu.Lock()
+	c.cancelled++
+	c.outstanding--
+	c.mu.Unlock()
+}
+
+// serve records one successful batch of n requests and their latencies.
+func (c *collector) serve(n int, lats []time.Duration) {
+	c.mu.Lock()
+	c.served += int64(n)
+	c.outstanding -= int64(n)
+	c.recordBatch(n)
+	for _, l := range lats {
+		ns := l.Nanoseconds()
+		if ns < 1 {
+			ns = 1
+		}
+		b := bits.Len64(uint64(ns))
+		if b >= latBuckets {
+			b = latBuckets - 1
+		}
+		c.lat[b]++
+	}
+	c.mu.Unlock()
+}
+
+// fail records one failed batch of n requests. The batch still ran a
+// GEMM, so it still counts toward the coalescing histogram.
+func (c *collector) fail(n int) {
+	c.mu.Lock()
+	c.failed += int64(n)
+	c.outstanding -= int64(n)
+	c.recordBatch(n)
+	c.mu.Unlock()
+}
+
+// recordBatch must be called with c.mu held.
+func (c *collector) recordBatch(n int) {
+	c.batches++
+	c.fillSum += int64(n)
+	if n >= 1 && n <= len(c.fill) {
+		c.fill[n-1]++
+	}
+}
+
+func (c *collector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Admitted:   c.admitted,
+		Served:     c.served,
+		Cancelled:  c.cancelled,
+		Failed:     c.failed,
+		Batches:    c.batches,
+		BatchFill:  append([]int64(nil), c.fill...),
+		QueueDepth: int(c.outstanding),
+	}
+	if c.batches > 0 {
+		st.MeanBatchFill = float64(c.fillSum) / float64(c.batches)
+	}
+	st.P50 = c.quantile(0.50)
+	st.P99 = c.quantile(0.99)
+	return st
+}
+
+// quantile must be called with c.mu held. It returns the upper bound of
+// the first histogram bucket whose cumulative count reaches q of the
+// served total (0 when nothing has been served).
+func (c *collector) quantile(q float64) time.Duration {
+	var total int64
+	for _, n := range c.lat {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, n := range c.lat {
+		cum += n
+		if cum >= target {
+			return time.Duration(int64(1) << uint(b))
+		}
+	}
+	return time.Duration(int64(1) << uint(latBuckets))
+}

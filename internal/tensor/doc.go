@@ -1,0 +1,20 @@
+// Package tensor implements the dense N-dimensional float32 tensors that
+// every other subsystem in this repository is built on: the CNN inference
+// and training stack (internal/nn), the MILR checkpoint/recovery engine
+// (internal/core), and the linear-algebra solvers (internal/linalg, which
+// operate on float64 matrices converted from these tensors).
+//
+// Tensors are row-major, contiguous, and deliberately simple: a shape plus
+// a flat []float32 backing slice. The MILR paper (DSN 2021) works with
+// 32-bit float weights, so float32 is the canonical element type; solving
+// is done in float64 by internal/linalg for numerical headroom.
+//
+// The GEMM kernels here are the repository's hot path: blocked
+// multiplication with per-output-element float64 accumulation in a
+// fixed k-ascending order, so the pooled variants (MatMulWorkers, used
+// by the batched inference path) partition work across row bands while
+// remaining bit-identical to the serial kernel — the root of the
+// bit-identity invariant chain described in ARCHITECTURE.md. The
+// GEMMCalls counter exists so tests can enforce the one-GEMM-per-layer
+// batching contract.
+package tensor

@@ -1,13 +1,3 @@
-// Package tensor implements the dense N-dimensional float32 tensors that
-// every other subsystem in this repository is built on: the CNN inference
-// and training stack (internal/nn), the MILR checkpoint/recovery engine
-// (internal/core), and the linear-algebra solvers (internal/linalg, which
-// operate on float64 matrices converted from these tensors).
-//
-// Tensors are row-major, contiguous, and deliberately simple: a shape plus
-// a flat []float32 backing slice. The MILR paper (DSN 2021) works with
-// 32-bit float weights, so float32 is the canonical element type; solving
-// is done in float64 by internal/linalg for numerical headroom.
 package tensor
 
 import (

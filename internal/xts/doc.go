@@ -1,0 +1,15 @@
+// Package xts implements AES-XTS, the memory-encryption mode the paper's
+// threat model centres on (Figure 1: AMD SEV / Intel MKTME encrypt VM
+// memory with AES-XTS). Its defining property for MILR is diffusion
+// inside an encryption block: "An uncorrected bit error in the ciphertext
+// of a word translates to many-bit error in the plaintext after
+// decryption in AES-XTS mode ... concentrated in bits that belong to an
+// encryption word" (§I). The fault injector (internal/faults) uses this
+// package to turn single ciphertext bit flips into whole-16-byte
+// plaintext garbles — the whole-weight error model of Figures 6, 8,
+// and 10.
+//
+// XTS-AES per IEEE 1619: two AES keys; key2 encrypts the sector tweak,
+// which is then multiplied by α^j in GF(2^128) for the j-th block and
+// XOR-ed around the key1 AES of each 16-byte block.
+package xts

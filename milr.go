@@ -40,15 +40,29 @@
 // Inference is batch-first: Model.ForwardBatch and Model.PredictBatch
 // stack a whole batch into one GEMM per conv/dense layer, bit-identical
 // to per-sample Forward calls.
+//
+// For serving, Runtime.NewServer (or NewGuardedServer, to serve while a
+// Guard self-heals the same model) starts a batch-coalescing front-end:
+// concurrent single-sample Predict calls queue up and execute as few
+// large GEMMs, still bit-identical to direct calls:
+//
+//	srv, _ := rt.NewGuardedServer(prot)
+//	defer srv.Close()
+//	class, _ := srv.Predict(ctx, x) // concurrent callers coalesce
+//
+// See ARCHITECTURE.md for the layer map and the invariants each layer
+// guarantees, and examples/serving for a complete guarded deployment.
 package milr
 
 import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"milr/internal/core"
 	"milr/internal/nn"
+	"milr/internal/serve"
 	"milr/internal/tensor"
 )
 
@@ -91,7 +105,20 @@ type (
 	GuardStats = core.GuardStats
 	// GuardEvent describes one scrub cycle.
 	GuardEvent = core.GuardEvent
+
+	// Server coalesces concurrent Predict calls into batched GEMMs.
+	// Build one with Runtime.NewServer or Runtime.NewGuardedServer.
+	Server = serve.Server
+	// ServerStats is a Server.Stats snapshot: request counters, the
+	// batch-fill (coalescing) histogram, queue depth, and approximate
+	// p50/p99 admission-to-answer latency.
+	ServerStats = serve.Stats
 )
+
+// ErrServerClosed is returned by Server.Predict and Server.PredictBatch
+// once Server.Close has been called; requests admitted before the close
+// are still served.
+var ErrServerClosed = serve.ErrClosed
 
 // Runtime is the engine's configuration root: one value carries the
 // master seed, the worker-pool policy for every parallel level
@@ -103,12 +130,14 @@ type (
 // A Runtime is immutable after construction and safe for concurrent use;
 // derive variants with With.
 type Runtime struct {
-	opts  core.Options
-	batch int
+	opts     core.Options
+	batch    int
+	maxDelay time.Duration
 	// workersSet records an explicit WithWorkers choice: only then do
-	// Protect and Evaluate retune the model's GEMM pools, so a
-	// hand-tuned model (Model.SetWorkers) is never silently reset to
-	// serial by a runtime that was built without a worker policy.
+	// Protect, Evaluate and the server constructors retune the model's
+	// GEMM pools, so a hand-tuned model (Model.SetWorkers) is never
+	// silently reset to serial by a runtime that was built without a
+	// worker policy.
 	workersSet bool
 }
 
@@ -163,15 +192,35 @@ func WithMaxFullSolveTaps(taps int) Option {
 	return func(rt *Runtime) { rt.opts.MaxFullSolveTaps = taps }
 }
 
-// WithBatchSize sets how many samples Runtime.Evaluate stacks per GEMM;
-// values below 1 clamp to 1 (per-sample), matching the evaluator's own
-// clamping.
+// WithBatchSize sets how many samples Runtime.Evaluate stacks per GEMM
+// and the largest batch a Server coalesces; values below 1 clamp to 1
+// (per-sample), matching the evaluator's own clamping.
 func WithBatchSize(b int) Option {
 	return func(rt *Runtime) {
 		if b < 1 {
 			b = 1
 		}
 		rt.batch = b
+	}
+}
+
+// DefaultMaxBatchDelay is the coalescing window servers use unless
+// WithMaxBatchDelay overrides it: long enough for concurrent clients to
+// land in one batch, short enough to stay invisible next to a
+// conv-layer GEMM. See README.md's tuning section.
+const DefaultMaxBatchDelay = 2 * time.Millisecond
+
+// WithMaxBatchDelay sets how long a Server holds a partial batch open
+// for more requests to coalesce before flushing it. Zero disables the
+// wait: the server still coalesces whatever has already queued up, but
+// never delays a request to fill a batch (lowest latency, least
+// coalescing). Negative values clamp to zero.
+func WithMaxBatchDelay(d time.Duration) Option {
+	return func(rt *Runtime) {
+		if d < 0 {
+			d = 0
+		}
+		rt.maxDelay = d
 	}
 }
 
@@ -191,7 +240,11 @@ func WithOptions(opts Options) Option {
 
 // NewRuntime builds a Runtime from functional options.
 func NewRuntime(opts ...Option) *Runtime {
-	rt := &Runtime{opts: core.DefaultOptions(0), batch: nn.DefaultEvalBatch}
+	rt := &Runtime{
+		opts:     core.DefaultOptions(0),
+		batch:    nn.DefaultEvalBatch,
+		maxDelay: DefaultMaxBatchDelay,
+	}
 	for _, o := range opts {
 		o(rt)
 	}
@@ -214,8 +267,11 @@ func (rt *Runtime) Seed() uint64 { return rt.opts.Seed }
 // Workers returns the configured worker-pool bound.
 func (rt *Runtime) Workers() int { return rt.opts.Workers }
 
-// BatchSize returns the evaluation batch size.
+// BatchSize returns the evaluation and serving batch size.
 func (rt *Runtime) BatchSize() int { return rt.batch }
+
+// MaxBatchDelay returns the serving coalescing window.
+func (rt *Runtime) MaxBatchDelay() time.Duration { return rt.maxDelay }
 
 // Options returns the engine options this runtime protects models with.
 func (rt *Runtime) Options() Options { return rt.opts }
@@ -267,6 +323,37 @@ func (rt *Runtime) Guard(ctx context.Context, pr *Protector, cfg GuardConfig) (*
 	}
 	cfg.Context = ctx
 	return core.NewGuard(pr, cfg)
+}
+
+// NewServer starts a batch-coalescing inference server over a model:
+// concurrent Server.Predict calls queue up, coalesce into batches of up
+// to BatchSize (WithBatchSize) within a MaxBatchDelay window
+// (WithMaxBatchDelay), and run as one ForwardBatch GEMM per batch —
+// bit-identical to direct per-sample Predict calls. An explicit worker
+// policy (WithWorkers) is applied to the model's GEMM pools, as in
+// Protect. Call Server.Close to shut the server down; use
+// NewGuardedServer instead when a Guard scrubs the same model.
+func (rt *Runtime) NewServer(m *Model) (*Server, error) {
+	if rt.workersSet {
+		m.SetWorkers(rt.opts.Workers)
+	}
+	return serve.New(m, serve.Config{BatchSize: rt.batch, MaxDelay: rt.maxDelay})
+}
+
+// NewGuardedServer is NewServer over a protected model: every batch
+// executes inside the protector's engine lock (Protector.Sync), which
+// serializes serving against concurrent Detect/Recover/Guard scrub
+// cycles — a scrub observes quiescent weights, inference observes
+// fully-recovered ones — while admission keeps accepting requests, so a
+// self-heal pause delays answers rather than refusing them. This is the
+// deployment shape of the paper's availability analysis (§V-E): run the
+// returned server alongside Runtime.Guard on the same protector.
+func (rt *Runtime) NewGuardedServer(pr *Protector) (*Server, error) {
+	m := pr.Model()
+	if rt.workersSet {
+		m.SetWorkers(rt.opts.Workers)
+	}
+	return serve.New(m, serve.Config{BatchSize: rt.batch, MaxDelay: rt.maxDelay, Gate: pr.Sync})
 }
 
 // NewGuard starts a background scrub loop over a protected model; call

@@ -23,6 +23,9 @@ var goldenAPI = []string{
 	"Runtime.BatchSize",
 	"Runtime.Evaluate",
 	"Runtime.Guard",
+	"Runtime.MaxBatchDelay",
+	"Runtime.NewGuardedServer",
+	"Runtime.NewServer",
 	"Runtime.Options",
 	"Runtime.Protect",
 	"Runtime.Seed",
@@ -31,11 +34,17 @@ var goldenAPI = []string{
 	"WithBatchSize",
 	"WithCRCGroup",
 	"WithDenseBand",
+	"WithMaxBatchDelay",
 	"WithMaxFullSolveTaps",
 	"WithOptions",
 	"WithSeed",
 	"WithTolerance",
 	"WithWorkers",
+	// Serving (PR 3): the batch-coalescing inference front-end.
+	"DefaultMaxBatchDelay",
+	"ErrServerClosed",
+	"Server",
+	"ServerStats",
 	// Re-exported engine types.
 	"DetectionReport",
 	"Guard",

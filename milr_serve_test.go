@@ -1,0 +1,203 @@
+package milr_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"milr"
+	"milr/internal/faults"
+	"milr/internal/prng"
+)
+
+// TestServerCoalescedEquivalence is the serving acceptance test: 64
+// concurrent single-sample clients against one Server must produce
+// answers bit-identical to direct Model.Predict calls, at serial and
+// pooled worker counts, and the batch-fill histogram must show that
+// coalescing actually happened (mean executed batch > 1).
+func TestServerCoalescedEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			model, err := milr.NewTinyNet()
+			if err != nil {
+				t.Fatal(err)
+			}
+			model.InitWeights(42)
+			const clients = 64
+			stream := prng.New(9)
+			xs := make([]*milr.Tensor, clients)
+			want := make([]int, clients)
+			for i := range xs {
+				xs[i] = stream.Tensor(12, 12, 1)
+				want[i], err = model.Predict(xs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rt := milr.NewRuntime(
+				milr.WithSeed(42),
+				milr.WithWorkers(workers),
+				milr.WithBatchSize(8),
+				milr.WithMaxBatchDelay(25*time.Millisecond),
+			)
+			srv, err := rt.NewServer(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int, clients)
+			errs := make([]error, clients)
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got[i], errs[i] = srv.Predict(context.Background(), xs[i])
+				}()
+			}
+			wg.Wait()
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < clients; i++ {
+				if errs[i] != nil {
+					t.Fatalf("client %d: %v", i, errs[i])
+				}
+				if got[i] != want[i] {
+					t.Fatalf("client %d: coalesced answer %d, direct answer %d", i, got[i], want[i])
+				}
+			}
+			st := srv.Stats()
+			if st.Served != clients {
+				t.Fatalf("served %d, want %d (stats %+v)", st.Served, clients, st)
+			}
+			if st.MeanBatchFill <= 1 {
+				t.Fatalf("mean batch fill %.2f — no coalescing happened (histogram %v)",
+					st.MeanBatchFill, st.BatchFill)
+			}
+			var histTotal int64
+			for _, n := range st.BatchFill {
+				histTotal += n
+			}
+			if histTotal != st.Batches {
+				t.Fatalf("batch-fill histogram %v sums to %d, want %d batches", st.BatchFill, histTotal, st.Batches)
+			}
+			t.Logf("workers=%d: %d batches for %d requests, mean fill %.2f, fill histogram %v, p50 %v p99 %v",
+				workers, st.Batches, st.Served, st.MeanBatchFill, st.BatchFill, st.P50, st.P99)
+		})
+	}
+}
+
+// TestGuardedServerSoak runs the full deployment shape under the race
+// detector in CI: a guarded server answers a crowd of clients while a
+// fault injector corrupts weights through the Sync gate and the guard
+// self-heals on a tight interval. Every request must be answered
+// (possibly with a degraded class mid-burst, never an error), and after
+// a final self-heal the served answers must match the clean ones again.
+func TestGuardedServerSoak(t *testing.T) {
+	model, err := milr.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.InitWeights(42)
+	const clients, perClient = 8, 24
+	stream := prng.New(11)
+	xs := make([]*milr.Tensor, clients)
+	want := make([]int, clients)
+	for i := range xs {
+		xs[i] = stream.Tensor(12, 12, 1)
+		want[i], err = model.Predict(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt := milr.NewRuntime(
+		milr.WithSeed(42),
+		milr.WithWorkers(2),
+		milr.WithBatchSize(4),
+		milr.WithMaxBatchDelay(time.Millisecond),
+	)
+	prot, err := rt.Protect(ctx, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := rt.Guard(ctx, prot, milr.GuardConfig{Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Stop()
+	srv, err := rt.NewGuardedServer(prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault injector: whole-weight corruption through the Sync mutation
+	// gate, racing the guard's scrubs and the server's batches.
+	injDone := make(chan struct{})
+	go func() {
+		defer close(injDone)
+		inj := faults.New(77)
+		for i := 0; i < 20; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			prot.Sync(func() { inj.WholeWeights(model, 0.001) })
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				if _, err := srv.Predict(ctx, xs[c]); err != nil {
+					errCh <- fmt.Errorf("client %d request %d: %w", c, r, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-injDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Let the engine heal whatever the last burst left behind, then the
+	// served answers must be the clean ones again.
+	if _, _, err := prot.SelfHealContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < clients; c++ {
+		got, err := srv.Predict(ctx, xs[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[c] {
+			t.Fatalf("client %d after heal: served %d, clean answer %d", c, got, want[c])
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Served != clients*perClient+clients {
+		t.Fatalf("served %d, want %d", st.Served, clients*perClient+clients)
+	}
+	t.Logf("soak: %d requests in %d batches (mean fill %.2f), guard stats %+v",
+		st.Served, st.Batches, st.MeanBatchFill, guard.Stats())
+}
