@@ -33,6 +33,9 @@ go test . -bench 'BenchmarkForward(Batch|Loop)$' -cpu "$CPUS" -benchtime "$BENCH
 echo "== serving: coalesced vs uncoalesced closed-loop swarm (8 clients, MNIST) =="
 go test . -bench 'BenchmarkServer(Coalesced|Uncoalesced)$' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
 
+echo "== fleet: skewed 80/20 two-model mix over one shared batch budget =="
+go test . -bench 'BenchmarkFleetSkewed$' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
 echo "== RBER sweep campaign, serial vs sharded (Figure 9 path) =="
 go test . -bench 'BenchmarkRBERSweepWorkers' -benchtime "$BENCHTIME" -run XXX
 

@@ -1,0 +1,361 @@
+// Command milr-fleet load-tests the multi-model serving router: N
+// named networks behind one milr.Fleet share a single batch-execution
+// budget, and a client swarm with a skewed per-model traffic mix
+// drives them either closed-loop (each client waits for its answer) or
+// open-loop (requests arrive on a fixed schedule whether or not the
+// fleet keeps up — the regime where admission control earns its keep).
+//
+// Usage:
+//
+//	milr-fleet                                        # two tiny nets, 80/20 mix
+//	milr-fleet -models mnist,tiny -skew 80,20 -weights 4,1 -clients 32
+//	milr-fleet -open-loop -rate 2000 -duration 2s -cap 8   # overload: ErrQueueFull sheds load
+//	milr-fleet -guard 5ms -corrupt 0.001                   # protected fleet, round-robin self-heal
+//
+// The tool reports per-model served/rejected counts, batch fill,
+// bounded-window p50/p99 latency and fleet-guard scrub counts. Without
+// -corrupt every answer must be bit-identical to a direct Model.Predict
+// call and any mismatch makes the tool exit non-zero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"milr"
+	"milr/internal/bench"
+	"milr/internal/faults"
+	"milr/internal/prng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "milr-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// modelSpec is one registered network plus its traffic and baseline.
+type modelSpec struct {
+	name   string
+	model  *milr.Model
+	weight float64
+	share  float64 // fraction of total traffic
+	inputs []*milr.Tensor
+	want   []int
+	prot   *milr.Protector
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("milr-fleet", flag.ContinueOnError)
+	var (
+		models   = fs.String("models", "tiny,tiny", "comma-separated networks: tiny, mnist, cifar-small, cifar-large (repeats allowed)")
+		skew     = fs.String("skew", "80,20", "per-model traffic shares (any positive scale; must match -models)")
+		weights  = fs.String("weights", "", "per-model fair-share weights (default: proportional to -skew)")
+		clients  = fs.Int("clients", 20, "total closed-loop clients, split across models by -skew")
+		requests = fs.Int("requests", 30, "requests per closed-loop client")
+		batch    = fs.Int("batch", 8, "coalescing batch size")
+		delay    = fs.Duration("delay", milr.DefaultMaxBatchDelay, "coalescing window (0 = flush immediately)")
+		workers  = fs.Int("workers", 0, "shared batch budget and GEMM pools (0 = serial, -1 = all cores)")
+		seed     = fs.Uint64("seed", 42, "master seed")
+		capN     = fs.Int("cap", 0, "per-model admission queue cap (0 = unbounded)")
+		deadline = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		openLoop = fs.Bool("open-loop", false, "fire requests on a fixed schedule instead of closed-loop clients")
+		rate     = fs.Float64("rate", 500, "open-loop arrival rate, requests/second (needs -open-loop)")
+		duration = fs.Duration("duration", time.Second, "open-loop run length (needs -open-loop)")
+		guard    = fs.Duration("guard", 0, "protect every model and round-robin self-heal on this interval (0 = no guard)")
+		corrupt  = fs.Float64("corrupt", 0, "whole-weight corruption rate injected during the run (needs -guard)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corrupt > 0 && *guard <= 0 {
+		return fmt.Errorf("-corrupt needs -guard (nothing would heal the injected errors)")
+	}
+
+	specs, err := buildSpecs(*models, *skew, *weights, *seed)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt := milr.NewRuntime(
+		milr.WithSeed(*seed),
+		milr.WithWorkers(*workers),
+		milr.WithBatchSize(*batch),
+		milr.WithMaxBatchDelay(*delay),
+		milr.WithQueueCap(*capN),
+		milr.WithDefaultDeadline(*deadline),
+	)
+	fl := milr.NewFleet(rt)
+	defer fl.Close()
+	for _, sp := range specs {
+		if *guard > 0 {
+			fmt.Printf("protecting %s with MILR (initialization runs once)...\n", sp.name)
+			sp.prot, err = rt.Protect(ctx, sp.model)
+			if err != nil {
+				return err
+			}
+			err = fl.RegisterProtected(sp.name, sp.prot, milr.WithModelWeight(sp.weight))
+		} else {
+			err = fl.Register(sp.name, sp.model, milr.WithModelWeight(sp.weight))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if *guard > 0 {
+		if err := fl.StartGuard(ctx, *guard); err != nil {
+			return err
+		}
+	}
+
+	// Fault injector: corruption lands through each protector's Sync
+	// mutation gate, round-robin across models, and the fleet guard
+	// heals it between bursts.
+	stopInject := make(chan struct{})
+	defer close(stopInject)
+	if *corrupt > 0 {
+		inj := faults.New(*seed + 2)
+		go func() {
+			ticker := time.NewTicker(2 * *guard)
+			defer ticker.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-stopInject:
+					return
+				case <-ticker.C:
+					sp := specs[i%len(specs)]
+					sp.prot.Sync(func() { inj.WholeWeights(sp.model, *corrupt) })
+				}
+			}
+		}()
+	}
+
+	if *openLoop {
+		err = runOpenLoop(ctx, fl, specs, *rate, *duration)
+	} else {
+		err = runClosedLoop(ctx, fl, specs, *clients, *requests, *corrupt > 0)
+	}
+	if err != nil {
+		return err
+	}
+	printFleetStats(fl.Stats(), specs, *guard > 0)
+	return nil
+}
+
+// buildSpecs parses -models/-skew/-weights into registered-model specs
+// with deterministic inputs and their direct (clean) answers.
+func buildSpecs(models, skew, weights string, seed uint64) ([]*modelSpec, error) {
+	builders := map[string]func() (*milr.Model, error){
+		"tiny":        milr.NewTinyNet,
+		"mnist":       milr.NewMNISTNet,
+		"cifar-small": milr.NewCIFARSmallNet,
+		"cifar-large": milr.NewCIFARLargeNet,
+	}
+	names := strings.Split(models, ",")
+	shares, err := parseFloats(skew, len(names), "-skew")
+	if err != nil {
+		return nil, err
+	}
+	var total float64
+	for _, s := range shares {
+		if s <= 0 {
+			return nil, fmt.Errorf("-skew shares must be positive, got %v", s)
+		}
+		total += s
+	}
+	var ws []float64
+	if weights != "" {
+		if ws, err = parseFloats(weights, len(names), "-weights"); err != nil {
+			return nil, err
+		}
+	}
+	seen := map[string]int{}
+	specs := make([]*modelSpec, len(names))
+	for i, net := range names {
+		net = strings.TrimSpace(net)
+		build, ok := builders[net]
+		if !ok {
+			return nil, fmt.Errorf("unknown network %q (tiny, mnist, cifar-small, cifar-large)", net)
+		}
+		m, err := build()
+		if err != nil {
+			return nil, err
+		}
+		mseed := seed + uint64(i)
+		m.InitWeights(mseed)
+		name := net
+		if strings.Count(models, net) > 1 {
+			seen[net]++
+			name = fmt.Sprintf("%s-%d", net, seen[net])
+		}
+		sp := &modelSpec{name: name, model: m, weight: 1, share: shares[i] / total}
+		if ws != nil {
+			sp.weight = ws[i]
+		} else {
+			// Default fair-share weights proportional to expected
+			// traffic, so the arbiter's split matches the mix.
+			sp.weight = shares[i]
+		}
+		const nInputs = 32
+		stream := prng.New(mseed + 1)
+		shape := m.InShape()
+		sp.inputs = make([]*milr.Tensor, nInputs)
+		sp.want = make([]int, nInputs)
+		for j := range sp.inputs {
+			sp.inputs[j] = stream.Tensor(shape...)
+			if sp.want[j], err = m.Predict(sp.inputs[j]); err != nil {
+				return nil, err
+			}
+		}
+		specs[i] = sp
+	}
+	return specs, nil
+}
+
+func parseFloats(s string, want int, flagName string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != want {
+		return nil, fmt.Errorf("%s needs %d comma-separated values, got %q", flagName, want, s)
+	}
+	out := make([]float64, want)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", flagName, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// runClosedLoop splits -clients across models by skew and drives the
+// swarm through bench.RunFleetLoad, enforcing bit-identity on clean
+// weights.
+func runClosedLoop(ctx context.Context, fl *milr.Fleet, specs []*modelSpec, clients, requests int, corrupted bool) error {
+	loadSpecs := make([]bench.FleetLoadSpec, len(specs))
+	for i, sp := range specs {
+		n := int(float64(clients)*sp.share + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		loadSpecs[i] = bench.FleetLoadSpec{
+			Model: sp.name, Inputs: sp.inputs, Want: sp.want,
+			Clients: n, PerClient: requests,
+		}
+		fmt.Printf("%-14s %3d clients × %d requests (weight %.1f)\n", sp.name, n, requests, sp.weight)
+	}
+	fmt.Println()
+	res, err := bench.RunFleetLoad(ctx, fl, loadSpecs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("closed loop: %d answered (+%d shed) in %v  →  %.0f req/s\n\n",
+		res.Requests, res.Rejected, res.Elapsed.Round(time.Microsecond), res.Throughput)
+	if !corrupted && res.Mismatches > 0 {
+		return fmt.Errorf("%d answers diverged from direct Predict on clean weights — bit-identity violated", res.Mismatches)
+	}
+	if corrupted && res.Mismatches > 0 {
+		fmt.Printf("%d degraded answers during corruption bursts (healed by the guard)\n\n", res.Mismatches)
+	}
+	return nil
+}
+
+// runOpenLoop fires requests on a fixed schedule, splitting arrivals
+// across models by largest traffic deficit, and reports what admission
+// control did with the excess.
+func runOpenLoop(ctx context.Context, fl *milr.Fleet, specs []*modelSpec, rate float64, duration time.Duration) error {
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive, got %v", rate)
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	var wg sync.WaitGroup
+	var answered, rejected, expired, mismatched atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	issued := make([]int64, len(specs))
+	var issuedTotal int64
+	start := time.Now()
+	for time.Since(start) < duration {
+		// Weighted-deficit pick keeps the realized mix on target even
+		// when shares are uneven.
+		pick, best := 0, -1.0
+		for i, sp := range specs {
+			d := sp.share*float64(issuedTotal) - float64(issued[i])
+			if d > best {
+				pick, best = i, d
+			}
+		}
+		sp := specs[pick]
+		idx := int(issued[pick]) % len(sp.inputs)
+		issued[pick]++
+		issuedTotal++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := fl.Predict(ctx, sp.name, sp.inputs[idx])
+			switch {
+			case err == nil:
+				answered.Add(1)
+				if got != sp.want[idx] {
+					mismatched.Add(1)
+				}
+			case errors.Is(err, milr.ErrQueueFull):
+				rejected.Add(1)
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				expired.Add(1)
+			default:
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+		time.Sleep(interval)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("open loop: %d arrivals at %.0f req/s over %v\n", issuedTotal, rate, elapsed.Round(time.Millisecond))
+	fmt.Printf("  answered %d, shed (queue full) %d, expired (deadline) %d\n\n",
+		answered.Load(), rejected.Load(), expired.Load())
+	if mismatched.Load() > 0 {
+		fmt.Printf("  %d degraded answers\n\n", mismatched.Load())
+	}
+	return nil
+}
+
+func printFleetStats(st milr.FleetStats, specs []*modelSpec, guarded bool) {
+	names := make([]string, 0, len(st.Models))
+	for name := range st.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ms := st.Models[name]
+		fmt.Printf("%-14s served %5d  rejected %4d  batches %4d  mean fill %.2f  p50 %v  p99 %v",
+			name, ms.Served, ms.Rejected, ms.Batches, ms.MeanBatchFill, ms.P50, ms.P99)
+		if guarded {
+			fmt.Printf("  scrubs %d (failed %d)", ms.Scrubs, ms.ScrubFailures)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nfleet total: %d served, %d rejected across %d models\n", st.Served, st.Rejected, len(specs))
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestSmallClosedLoopRuns(t *testing.T) {
+	if err := run([]string{"-models", "tiny,tiny", "-skew", "75,25", "-clients", "8", "-requests", "6"}); err != nil {
+		t.Fatalf("small closed loop: %v", err)
+	}
+}
+
+func TestOpenLoopWithCapRuns(t *testing.T) {
+	if err := run([]string{
+		"-models", "tiny,tiny", "-skew", "50,50",
+		"-open-loop", "-rate", "400", "-duration", "250ms",
+		"-cap", "2", "-deadline", "250ms",
+	}); err != nil {
+		t.Fatalf("open loop: %v", err)
+	}
+}
+
+func TestGuardedFleetRuns(t *testing.T) {
+	if err := run([]string{
+		"-models", "tiny,tiny", "-skew", "60,40", "-clients", "4", "-requests", "6",
+		"-guard", "5ms", "-corrupt", "0.001",
+	}); err != nil {
+		t.Fatalf("guarded fleet: %v", err)
+	}
+}
+
+func TestUnknownNetworkRejected(t *testing.T) {
+	if err := run([]string{"-models", "resnet50", "-skew", "100"}); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestMismatchedSkewRejected(t *testing.T) {
+	if err := run([]string{"-models", "tiny,tiny", "-skew", "100"}); err == nil {
+		t.Fatal("skew/models length mismatch accepted")
+	}
+}
+
+func TestCorruptWithoutGuardRejected(t *testing.T) {
+	if err := run([]string{"-corrupt", "0.01"}); err == nil {
+		t.Fatal("-corrupt without -guard accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

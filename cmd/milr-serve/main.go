@@ -194,7 +194,7 @@ func printRun(name string, res bench.ServeLoadResult) {
 	fmt.Printf("%s\n", name)
 	fmt.Printf("  %d requests in %v  →  %.0f req/s\n", res.Requests, res.Elapsed.Round(time.Microsecond), res.Throughput)
 	fmt.Printf("  batches %d, mean fill %.2f, fill histogram %v\n", st.Batches, st.MeanBatchFill, st.BatchFill)
-	fmt.Printf("  latency p50 ≤ %v, p99 ≤ %v", st.P50, st.P99)
+	fmt.Printf("  latency p50 %v, p99 %v", st.P50, st.P99)
 	if res.Mismatches > 0 {
 		fmt.Printf(", %d degraded answers", res.Mismatches)
 	}

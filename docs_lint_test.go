@@ -24,6 +24,7 @@ import (
 var fullyDocumented = map[string]bool{
 	".":              true,
 	"internal/serve": true,
+	"internal/fleet": true,
 }
 
 func TestDocCoverage(t *testing.T) {

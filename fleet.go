@@ -1,0 +1,200 @@
+package milr
+
+import (
+	"context"
+	"time"
+
+	"milr/internal/fleet"
+)
+
+// This file is the multi-model serving surface: one milr.Fleet routes
+// Predict calls to N named models over per-model coalescing queues and
+// a single shared batch-execution budget, with weighted fair
+// arbitration and admission control. See internal/fleet for the
+// routing design and ARCHITECTURE.md for the layer map.
+
+// ErrQueueFull is returned by Fleet.Predict and Fleet.PredictBatch
+// when the target model's admission queue is at its configured cap
+// (WithQueueCap / WithModelQueueCap) and the model was not registered
+// with WithModelBackpressure. The request was refused in O(1) without
+// occupying a queue slot — shed load or retry later.
+var ErrQueueFull = fleet.ErrQueueFull
+
+// ErrFleetClosed is returned by Fleet methods once Fleet.Close has
+// been called; requests admitted before the close are still served.
+var ErrFleetClosed = fleet.ErrClosed
+
+// FleetStats is a Fleet.Stats snapshot: one ModelStats per registered
+// model plus fleet-wide admission/rejection aggregates.
+type FleetStats = fleet.Stats
+
+// ModelStats is one model's slice of FleetStats: the ServerStats
+// counters (queue depth, batch-fill histogram, bounded-window p50/p99)
+// plus the model's fair-share weight, resolved queue cap, and fleet-
+// guard scrub counters.
+type ModelStats = fleet.ModelStats
+
+// ModelOption configures one model at Fleet.Register /
+// Fleet.RegisterProtected time.
+type ModelOption func(*fleet.ModelConfig)
+
+// WithModelWeight sets the model's fair-share weight in the fleet's
+// batch arbiter: under contention a model with weight w receives batch
+// slots in proportion to w, so one hot model cannot starve the rest.
+// Values <= 0 default to 1.
+func WithModelWeight(w float64) ModelOption {
+	return func(mc *fleet.ModelConfig) { mc.Weight = w }
+}
+
+// WithModelQueueCap overrides the fleet-wide WithQueueCap for one
+// model: n > 0 caps its admission queue at n, n < 0 forces it
+// unbounded. Zero keeps the fleet default.
+func WithModelQueueCap(n int) ModelOption {
+	return func(mc *fleet.ModelConfig) { mc.QueueCap = n }
+}
+
+// WithModelBackpressure switches the model's full-queue behaviour from
+// fast-fail (ErrQueueFull) to blocking: admission waits for a queue
+// slot until the request's context is done or the fleet closes. Use it
+// for closed-loop callers that prefer latency over load shedding.
+func WithModelBackpressure() ModelOption {
+	return func(mc *fleet.ModelConfig) { mc.Block = true }
+}
+
+// Fleet serves several named models at once: each model has its own
+// batch-coalescing admission queue (the Server machinery, per model),
+// and one shared execution budget (WithWorkers) is arbitrated across
+// them with weighted fair scheduling. Build one with NewFleet, add
+// models with Register or RegisterProtected, and shut it down with
+// Close. Answers are bit-identical to direct per-model Predict calls;
+// it is safe for concurrent use by any number of client goroutines.
+type Fleet struct {
+	f  *fleet.Fleet
+	rt *Runtime
+}
+
+// NewFleet builds an empty multi-model router from the runtime's
+// serving policy: WithWorkers bounds how many coalesced batches run
+// concurrently fleet-wide (the shared worker budget), WithBatchSize
+// and WithMaxBatchDelay set each model's coalescing, WithQueueCap the
+// default per-model admission cap, and WithDefaultDeadline the
+// deadline applied to requests whose context has none.
+func NewFleet(rt *Runtime) *Fleet {
+	return &Fleet{
+		f: fleet.New(fleet.Config{
+			Workers:   rt.opts.Workers,
+			BatchSize: rt.batch,
+			MaxDelay:  rt.maxDelay,
+			QueueCap:  rt.queueCap,
+			Deadline:  rt.deadline,
+		}),
+		rt: rt,
+	}
+}
+
+// Register adds a named, unprotected model to the fleet. An explicit
+// worker policy (WithWorkers) is applied to the model's GEMM pools, as
+// in Runtime.NewServer. Models may be registered while traffic flows.
+func (fl *Fleet) Register(name string, m *Model, opts ...ModelOption) error {
+	if m != nil && fl.rt.workersSet {
+		m.SetWorkers(fl.rt.opts.Workers)
+	}
+	var mc fleet.ModelConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	return fl.f.Register(name, m, mc)
+}
+
+// RegisterProtected adds a MILR-protected model: its batches execute
+// inside the protector's engine lock (Protector.Sync), so they
+// serialize against that model's detect/recover cycles exactly like a
+// guarded Server's — and the fleet guard (StartGuard) includes the
+// model in its round-robin self-heal schedule. Other models' traffic
+// is never blocked by this model's scrubs.
+func (fl *Fleet) RegisterProtected(name string, pr *Protector, opts ...ModelOption) error {
+	m := pr.Model()
+	if fl.rt.workersSet {
+		m.SetWorkers(fl.rt.opts.Workers)
+	}
+	var mc fleet.ModelConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	mc.Gate = pr.Sync
+	mc.Scrub = func(ctx context.Context) error {
+		_, _, err := pr.SelfHealContext(ctx)
+		return err
+	}
+	return fl.f.Register(name, m, mc)
+}
+
+// Predict routes one sample to the named model and blocks until its
+// coalesced batch has been served; the answer is bit-identical to a
+// direct Model.Predict call. It returns ErrQueueFull when the model's
+// queue is at cap (unless registered with backpressure), ErrFleetClosed
+// after Close, and the context's error if ctx — or the fleet's default
+// deadline (WithDefaultDeadline) — expires first.
+func (fl *Fleet) Predict(ctx context.Context, model string, x *Tensor) (int, error) {
+	return fl.f.Predict(ctx, model, x)
+}
+
+// PredictBatch enqueues every sample individually on the named model's
+// queue — so a caller's samples coalesce with other callers' — and
+// blocks until all are answered, returning classes in input order.
+func (fl *Fleet) PredictBatch(ctx context.Context, model string, xs []*Tensor) ([]int, error) {
+	return fl.f.PredictBatch(ctx, model, xs)
+}
+
+// StartGuard starts the fleet's self-heal scheduler: every interval it
+// scrubs the next protected model (round-robin over every
+// RegisterProtected model, including ones registered later), each
+// scrub running under its own model's engine lock. The loop stops when
+// ctx is done or the fleet closes; at most one guard runs per fleet.
+func (fl *Fleet) StartGuard(ctx context.Context, interval time.Duration) error {
+	return fl.f.StartGuard(ctx, interval)
+}
+
+// Stats returns a snapshot of every model's serving counters plus
+// fleet-level aggregates. See FleetStats and ModelStats.
+func (fl *Fleet) Stats() FleetStats {
+	return fl.f.Stats()
+}
+
+// Close stops admission fleet-wide, serves every request admitted
+// before the call on every model, stops the guard loop, and returns
+// once all dispatch and batch-execution goroutines have exited. Safe
+// to call more than once.
+func (fl *Fleet) Close() error {
+	return fl.f.Close()
+}
+
+// WithQueueCap sets the fleet-wide default admission queue cap: the
+// most requests that may wait in any one model's queue. At cap,
+// admission fast-fails with ErrQueueFull (or blocks, for models
+// registered with WithModelBackpressure) — the open-loop overload
+// story. 0 (the default) means unbounded, which matches the
+// single-model Server's behaviour. Override per model with
+// WithModelQueueCap.
+func WithQueueCap(n int) Option {
+	return func(rt *Runtime) {
+		if n < 0 {
+			n = 0
+		}
+		rt.queueCap = n
+	}
+}
+
+// WithDefaultDeadline sets the deadline a Fleet applies to every
+// Predict/PredictBatch call whose context has no deadline of its own,
+// so an open-loop client can never wait unboundedly. Zero (the
+// default) applies none; contexts that already carry a deadline are
+// never altered.
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(rt *Runtime) {
+		if d < 0 {
+			d = 0
+		}
+		rt.deadline = d
+	}
+}

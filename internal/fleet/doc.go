@@ -1,0 +1,69 @@
+// Package fleet is the multi-model serving router: one Fleet registers
+// N named models, gives each its own coalescing admission queue, and
+// arbitrates a single shared batch-execution budget (par.Pool) across
+// all of them, so several models serve heavy traffic side by side
+// without one hot model starving the rest.
+//
+// The design composes the repository's serving front-end (package
+// serve: FIFO queue + batch coalescing + one ForwardBatch GEMM per
+// batch — this package reuses its Request/ExecuteBatch machinery and
+// keeps one serve.Collector per model, so the two dispatchers'
+// admission and execution semantics are provably the same code) with
+// two new responsibilities a single-model Server does not have:
+//
+//   - Weighted fair arbitration. One dispatcher goroutine owns every
+//     queue. Each round it considers the models whose queue head is
+//     ready to flush (full batch, expired MaxDelay window, or a
+//     draining close) and picks the one with the lowest fair-share
+//     "pass", a stride-scheduling account that advances by
+//     requests/weight each time a model flushes. Under contention a
+//     model with weight w therefore receives batch slots in proportion
+//     to w; an idle model's account is charged nothing, so light
+//     traffic never pays for heavy neighbours — and a model
+//     (re-)entering the runnable set is clamped up to the arbiter's
+//     global virtual time, so idling never banks priority either
+//     (TestIdleModelEarnsNoCredit). Per model, batches stay
+//     strictly sequential (FIFO answers, same as serve.Server); across
+//     models, up to Config.Workers batches execute concurrently.
+//
+//   - Admission control. Every model's queue has a configurable cap
+//     (Config.QueueCap fleet-wide, ModelConfig.QueueCap per model).
+//     At cap, admission either fast-fails with ErrQueueFull — O(1)
+//     load shedding for open-loop traffic, the request never occupies
+//     a queue slot — or, with ModelConfig.Block, applies blocking
+//     backpressure until slots free, the request's context expires, or
+//     the fleet closes. Config.Deadline supplies a default per-request
+//     deadline to any call whose context has none, so an open-loop
+//     client cannot wait unboundedly. A request whose context is
+//     already expired is rejected at enqueue time, never occupying a
+//     batch slot.
+//
+// Self-healing models register a Scrub hook (the façade wires it to
+// Protector.SelfHealContext) and a Gate (Protector.Sync); StartGuard
+// then round-robins scrub cycles across all such models on one
+// schedule, each cycle running under its own model's engine lock so it
+// serializes only against that model's inference batches.
+//
+// Invariants, pinned by fleet_test.go and milr_fleet_test.go:
+//
+//   - Bit identity: an answer routed through the fleet equals the
+//     answer a direct Model.Predict/PredictBatch call would give, to
+//     the last bit, for every model, at every worker count and weight.
+//     Routing, fairness and admission control are throughput/latency
+//     knobs, never accuracy ones.
+//   - Fair-share arbitration: under saturation, flush counts track
+//     weights (deterministic stride schedule, registration-order
+//     tie-break) — a hot model cannot starve a cold one.
+//   - Isolation: cancellation, queue overflow, corruption and scrub
+//     pauses on one model never affect another model's requests.
+//   - Drain-on-close: Close rejects new admissions fleet-wide
+//     (ErrClosed), wakes blocked backpressure callers, serves every
+//     already-admitted request on every model, and joins the
+//     dispatcher, all executors and the guard loop. Queue caps can
+//     reject under overload, but they can never deadlock the drain.
+//
+// The package sits beside internal/serve, below the public façade
+// (milr.NewFleet constructs fleets, wiring Protectors to Gate/Scrub
+// hooks), and deliberately knows nothing about the MILR engine beyond
+// those two opaque hooks. See ARCHITECTURE.md for the full layer map.
+package fleet

@@ -1,0 +1,581 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"milr/internal/nn"
+	"milr/internal/par"
+	"milr/internal/serve"
+	"milr/internal/tensor"
+)
+
+// ErrQueueFull is returned by Predict and PredictBatch when a model's
+// admission queue is at its configured cap and the model was not
+// registered with blocking backpressure. Callers should treat it as
+// load shedding: the request was refused in O(1) without occupying a
+// queue slot, and retrying later (or against another model) is safe.
+var ErrQueueFull = errors.New("fleet: model queue full")
+
+// ErrClosed is returned by Predict, PredictBatch and Register once
+// Close has been called. Requests admitted before the close are still
+// served (drain-on-close).
+var ErrClosed = errors.New("fleet: fleet closed")
+
+// Config configures New. The zero value is usable: one shared batch
+// slot, batch size 1, no coalescing window, unbounded queues, no
+// default deadline.
+type Config struct {
+	// Workers is the shared batch-execution budget arbitrated across
+	// every registered model: at most this many coalesced batches run
+	// concurrently, fleet-wide, whichever models they belong to. It
+	// follows the repository's worker convention (0 = serial, n > 0 =
+	// at most n, negative = GOMAXPROCS). Each batch's GEMM additionally
+	// fans out over its own model's worker pool (Model.SetWorkers).
+	Workers int
+	// BatchSize is the largest number of requests coalesced into one
+	// ForwardBatch GEMM per model. Values below 1 clamp to 1.
+	BatchSize int
+	// MaxDelay bounds how long a partial batch may wait in a model's
+	// queue for more requests to coalesce. Zero means no waiting: the
+	// dispatcher still coalesces whatever has already queued up (greedy
+	// coalescing under backlog) but never holds a request back.
+	MaxDelay time.Duration
+	// QueueCap is the default per-model admission queue cap: the most
+	// requests that may sit in one model's queue awaiting a batch.
+	// 0 means unbounded (the pre-admission-control behaviour); a
+	// model's ModelConfig.QueueCap overrides it.
+	QueueCap int
+	// Deadline, when positive, is applied to every Predict/PredictBatch
+	// call whose context has no deadline of its own — the fleet-wide
+	// default request deadline. Contexts that already carry a deadline
+	// are never tightened or loosened.
+	Deadline time.Duration
+}
+
+// ModelConfig configures one registered model.
+type ModelConfig struct {
+	// Weight is the model's fair-share weight in the batch arbiter:
+	// over time, a backlogged model receives batch slots in proportion
+	// to its weight, so one hot model cannot starve the rest. Values
+	// <= 0 default to 1.
+	Weight float64
+	// QueueCap overrides Config.QueueCap for this model: > 0 sets the
+	// cap, 0 inherits the fleet default, < 0 forces unbounded.
+	QueueCap int
+	// Block switches the model's full-queue behaviour from fast-fail
+	// (ErrQueueFull) to blocking backpressure: enqueue waits for a slot
+	// until the request's context is done or the fleet closes.
+	Block bool
+	// Gate, when non-nil, wraps every batch execution for this model.
+	// The façade sets it to Protector.Sync for MILR-protected models,
+	// which serializes this model's inference batches against its
+	// engine's detect/recover cycles — without ever touching the other
+	// models' throughput.
+	Gate func(func())
+	// Scrub, when non-nil, marks the model as self-healing: the fleet
+	// guard (StartGuard) round-robins calls to it across all such
+	// models. The façade sets it to Protector.SelfHealContext.
+	Scrub func(context.Context) error
+}
+
+// backend is one registered model: its queue, arbiter state and stats.
+type backend struct {
+	name    string
+	model   *nn.Model
+	inShape tensor.Shape
+	weight  float64
+	cap     int // resolved queue cap, 0 = unbounded
+	block   bool
+	gate    func(func())
+	scrub   func(context.Context) error
+
+	// Guarded by Fleet.mu:
+	pending  []*serve.Request
+	inflight bool          // one batch per model at a time (FIFO order, serve parity)
+	pass     float64       // stride-scheduler virtual time: lowest pass flushes next
+	space    chan struct{} // closed+replaced whenever queue slots free up
+	scrubs   int64
+	scrubErr int64
+
+	stats *serve.Collector
+}
+
+// Fleet routes Predict/PredictBatch calls to per-model coalescing
+// queues and arbitrates one shared batch-execution budget across all
+// of them with weighted fair (stride) scheduling. Build one with New,
+// add models with Register, and shut it down with Close; it is safe
+// for concurrent use by any number of client goroutines.
+type Fleet struct {
+	batchSize int
+	maxDelay  time.Duration
+	queueCap  int
+	deadline  time.Duration
+	pool      *par.Pool
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	order    []*backend // registration order: deterministic iteration + tie-break
+	// vtime is the arbiter's global virtual time: the highest fair-share
+	// pass any backend had when it was picked. Backends (re-)entering
+	// the runnable set are clamped up to it, so neither a newly
+	// registered model nor one returning from a long idle spell can
+	// replay its saved-up credit and monopolize the budget.
+	vtime   float64
+	closed  bool
+	guardOn bool
+
+	// notify carries "something changed" wake-ups to the dispatcher; a
+	// buffer of one is enough because the dispatcher re-examines every
+	// queue on each wake-up.
+	notify    chan struct{}
+	done      chan struct{} // dispatcher exited
+	closedCh  chan struct{} // closed by Close; stops the guard loop
+	guardDone chan struct{}
+}
+
+// New builds an empty Fleet and starts its dispatcher goroutine.
+func New(cfg Config) *Fleet {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.MaxDelay < 0 {
+		cfg.MaxDelay = 0
+	}
+	if cfg.QueueCap < 0 {
+		cfg.QueueCap = 0
+	}
+	f := &Fleet{
+		batchSize: cfg.BatchSize,
+		maxDelay:  cfg.MaxDelay,
+		queueCap:  cfg.QueueCap,
+		deadline:  cfg.Deadline,
+		pool:      par.NewPool(cfg.Workers),
+		backends:  map[string]*backend{},
+		notify:    make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		closedCh:  make(chan struct{}),
+	}
+	go f.run()
+	return f
+}
+
+// Register adds a named model to the fleet. Models may be registered
+// at any time before Close; a model registered while traffic is
+// flowing starts with its fair-share account at the current frontier,
+// so it neither monopolizes nor waits out the arbiter.
+func (f *Fleet) Register(name string, m *nn.Model, mc ModelConfig) error {
+	if name == "" {
+		return fmt.Errorf("fleet: empty model name")
+	}
+	if m == nil {
+		return fmt.Errorf("fleet: nil model for %q", name)
+	}
+	if mc.Weight <= 0 {
+		mc.Weight = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, dup := f.backends[name]; dup {
+		return fmt.Errorf("fleet: model %q already registered", name)
+	}
+	qcap := f.queueCap
+	if mc.QueueCap > 0 {
+		qcap = mc.QueueCap
+	} else if mc.QueueCap < 0 {
+		qcap = 0
+	}
+	b := &backend{
+		name:    name,
+		model:   m,
+		inShape: m.InShape(),
+		weight:  mc.Weight,
+		cap:     qcap,
+		block:   mc.Block,
+		gate:    mc.Gate,
+		scrub:   mc.Scrub,
+		space:   make(chan struct{}),
+		pass:    f.vtime,
+		stats:   serve.NewCollector(f.batchSize),
+	}
+	f.backends[name] = b
+	f.order = append(f.order, b)
+	return nil
+}
+
+// Predict routes one sample to the named model's queue and blocks until
+// its coalesced batch has been served. The answer is bit-identical to a
+// direct Model.Predict call. A fleet-wide default deadline (Config.
+// Deadline) is applied when ctx has none; if ctx is done before the
+// batch executes, Predict returns ctx's error and the request is
+// dropped from its batch without affecting its neighbours.
+func (f *Fleet) Predict(ctx context.Context, model string, x *tensor.Tensor) (int, error) {
+	ctx, cancel := f.withDeadline(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	r, err := f.enqueue(ctx, model, x)
+	if err != nil {
+		return 0, err
+	}
+	return r.Await(ctx)
+}
+
+// PredictBatch enqueues every sample of xs individually on the named
+// model's queue — so a caller's samples coalesce with other callers' —
+// and blocks until all are answered, returning the classes in input
+// order. On the first error the remaining answers are discarded (their
+// buffered result channels make that safe) and the error is returned.
+func (f *Fleet) PredictBatch(ctx context.Context, model string, xs []*tensor.Tensor) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("fleet: empty batch")
+	}
+	ctx, cancel := f.withDeadline(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	reqs := make([]*serve.Request, len(xs))
+	for i, x := range xs {
+		r, err := f.enqueue(ctx, model, x)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = r
+	}
+	out := make([]int, len(xs))
+	for i, r := range reqs {
+		class, err := r.Await(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = class
+	}
+	return out, nil
+}
+
+// withDeadline applies the fleet's default deadline to contexts that
+// carry none. The returned cancel func is nil when ctx is unchanged.
+func (f *Fleet) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if f.deadline <= 0 {
+		return ctx, nil
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, f.deadline)
+}
+
+// enqueue validates x, applies the model's admission control, and
+// appends a queue entry. Validation happens here, per request, so one
+// malformed input is rejected at the door instead of failing the whole
+// batch it would have joined — and a request whose context is already
+// expired never occupies a queue slot.
+func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*serve.Request, error) {
+	if x == nil {
+		return nil, fmt.Errorf("fleet: nil input")
+	}
+	f.mu.Lock()
+	b := f.backends[model]
+	if b == nil {
+		names := make([]string, 0, len(f.order))
+		for _, o := range f.order {
+			names = append(names, o.name)
+		}
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: unknown model %q (registered: %v)", model, names)
+	}
+	if !x.Shape().Equal(b.inShape) {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: input shape %v does not match model %q input shape %v", x.Shape(), model, b.inShape)
+	}
+	for {
+		if f.closed {
+			f.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			f.mu.Unlock()
+			return nil, err
+		}
+		if b.cap <= 0 || len(b.pending) < b.cap {
+			break
+		}
+		if !b.block {
+			b.stats.Reject()
+			f.mu.Unlock()
+			return nil, fmt.Errorf("fleet: model %q: %w", model, ErrQueueFull)
+		}
+		// Blocking backpressure: wait outside the lock for slots to
+		// free (the dispatcher broadcasts by closing b.space whenever
+		// it drains requests into a batch), then re-check everything.
+		space := b.space
+		f.mu.Unlock()
+		select {
+		case <-space:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		f.mu.Lock()
+	}
+	r := serve.NewRequest(ctx, x)
+	if len(b.pending) == 0 && b.pass < f.vtime {
+		// The model is (re-)entering the runnable set: clamp its account
+		// up to the arbiter's virtual time so an idle spell earns no
+		// saved-up priority over the models that kept serving.
+		b.pass = f.vtime
+	}
+	b.pending = append(b.pending, r)
+	// Counted before the request becomes visible to the dispatcher, so
+	// a Stats snapshot can never show Served > Admitted or a negative
+	// QueueDepth. The collector's mutex is a leaf lock.
+	b.stats.Admit()
+	f.mu.Unlock()
+	f.wake()
+	return r, nil
+}
+
+// wake nudges the dispatcher; a full buffer means a wake-up is already
+// pending, which is just as good.
+func (f *Fleet) wake() {
+	select {
+	case f.notify <- struct{}{}:
+	default:
+	}
+}
+
+// flushableLocked reports whether b's queue head is ready to execute:
+// a full batch, an expired coalescing window, no window at all, or a
+// closing fleet (drain flushes immediately). Caller holds f.mu and has
+// checked b.pending is non-empty and b is not inflight.
+func (f *Fleet) flushableLocked(b *backend, now time.Time) bool {
+	if f.closed || f.maxDelay == 0 || len(b.pending) >= f.batchSize {
+		return true
+	}
+	return !now.Before(b.pending[0].EnqueuedAt().Add(f.maxDelay))
+}
+
+// takeLocked drains up to one batch from b and charges b's fair-share
+// account: pass advances by requests/weight, so a heavy queue with
+// weight w flushes w× as often as a weight-1 one under contention.
+// Caller holds f.mu.
+func (f *Fleet) takeLocked(b *backend) []*serve.Request {
+	n := f.batchSize
+	if n > len(b.pending) {
+		n = len(b.pending)
+	}
+	batch := make([]*serve.Request, n)
+	copy(batch, b.pending[:n])
+	b.pending = b.pending[n:]
+	b.inflight = true
+	if b.pass > f.vtime {
+		f.vtime = b.pass
+	}
+	b.pass += float64(n) / b.weight
+	// Queue slots freed: broadcast to any backpressure-blocked callers.
+	close(b.space)
+	b.space = make(chan struct{})
+	return batch
+}
+
+// run is the dispatcher: one goroutine that owns arbitration. Each
+// round it scans every model queue (registration order), picks — among
+// the queues whose head batch is ready — the backend with the lowest
+// fair-share pass, reserves one slot from the shared worker budget,
+// and hands the batch to an executor. Per model, batches stay strictly
+// sequential (FIFO answers, serve.Server parity); across models, up to
+// the budget's capacity of batches run concurrently.
+func (f *Fleet) run() {
+	defer close(f.done)
+	for {
+		f.mu.Lock()
+		now := time.Now()
+		var pick *backend
+		var nextDeadline time.Time
+		idle := true
+		for _, b := range f.order {
+			if b.inflight {
+				idle = false
+				continue
+			}
+			if len(b.pending) == 0 {
+				continue
+			}
+			idle = false
+			if !f.flushableLocked(b, now) {
+				dl := b.pending[0].EnqueuedAt().Add(f.maxDelay)
+				if nextDeadline.IsZero() || dl.Before(nextDeadline) {
+					nextDeadline = dl
+				}
+				continue
+			}
+			if pick == nil || b.pass < pick.pass {
+				pick = b
+			}
+		}
+		closed := f.closed
+		if pick == nil {
+			f.mu.Unlock()
+			if closed && idle {
+				return
+			}
+			if !nextDeadline.IsZero() {
+				// Sleep until the earliest coalescing window expires,
+				// unless something changes first.
+				timer := time.NewTimer(time.Until(nextDeadline))
+				select {
+				case <-f.notify:
+					timer.Stop()
+				case <-timer.C:
+				}
+			} else {
+				<-f.notify
+			}
+			continue
+		}
+		if !f.pool.TryAcquire() {
+			// Budget exhausted: an executor's completion wake-up will
+			// re-run the scan.
+			f.mu.Unlock()
+			<-f.notify
+			continue
+		}
+		b := pick
+		batch := f.takeLocked(b)
+		f.mu.Unlock()
+		// The dispatcher's wake-up runs only after the pool slot is
+		// visibly free again (Pool.Go's afterRelease ordering):
+		// waking from inside the executor could be consumed before the
+		// release and leave the dispatcher parked with work queued.
+		f.pool.Go(func() { f.execute(b, batch) }, f.wake)
+	}
+}
+
+// execute answers one coalesced batch on a pool worker through the
+// shared serve.ExecuteBatch machinery (cancellation at flush,
+// gate-wrapped GEMM, per-request demux), then returns the model to the
+// schedulable set. The dispatcher's wake-up is fired by the pool after
+// the slot release, not here.
+func (f *Fleet) execute(b *backend, batch []*serve.Request) {
+	serve.ExecuteBatch(b.model, b.gate, batch, b.stats,
+		fmt.Sprintf("fleet: model %q batch", b.name))
+	f.mu.Lock()
+	b.inflight = false
+	f.mu.Unlock()
+}
+
+// StartGuard starts the fleet-level self-heal scheduler: every interval
+// it picks the next self-healing model (round-robin over the models
+// registered with a Scrub hook, including ones registered later) and
+// runs its scrub. Each scrub executes under that model's own engine
+// lock, so it interleaves with that model's inference batches exactly
+// like a per-model Guard would — and never touches the other models.
+// The loop stops when ctx is done or the fleet closes; at most one
+// guard may run per fleet.
+func (f *Fleet) StartGuard(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("fleet: guard interval must be positive, got %v", interval)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.guardOn {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: guard already running")
+	}
+	n := 0
+	for _, b := range f.order {
+		if b.scrub != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: no self-healing models registered (none has a Scrub hook)")
+	}
+	f.guardOn = true
+	f.guardDone = make(chan struct{})
+	f.mu.Unlock()
+	go f.guardLoop(ctx, interval)
+	return nil
+}
+
+// guardLoop round-robins scrubs across self-healing models.
+func (f *Fleet) guardLoop(ctx context.Context, interval time.Duration) {
+	defer close(f.guardDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	idx := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.closedCh:
+			return
+		case <-ticker.C:
+		}
+		f.mu.Lock()
+		var scrubbable []*backend
+		for _, b := range f.order {
+			if b.scrub != nil {
+				scrubbable = append(scrubbable, b)
+			}
+		}
+		if len(scrubbable) == 0 {
+			f.mu.Unlock()
+			continue
+		}
+		b := scrubbable[idx%len(scrubbable)]
+		idx++
+		f.mu.Unlock()
+		err := b.scrub(ctx)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Shutdown aborted the cycle mid-scrub (layer-atomically —
+			// see the engine's context contract); drop the partial
+			// cycle and let the next select exit the loop.
+			continue
+		}
+		f.mu.Lock()
+		b.scrubs++
+		if err != nil {
+			b.scrubErr++
+		}
+		f.mu.Unlock()
+	}
+}
+
+// Close stops admission fleet-wide, serves every request admitted
+// before the call on every model (drain-on-close), stops the guard
+// loop, and returns once the dispatcher and all in-flight batch
+// executors have exited. Safe to call more than once; later calls just
+// wait for the shutdown to finish.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	already := f.closed
+	f.closed = true
+	guardDone := f.guardDone
+	if !already {
+		close(f.closedCh)
+		// Wake every backpressure-blocked enqueuer: it re-checks and
+		// fails with ErrClosed instead of waiting on a dead queue.
+		for _, b := range f.order {
+			close(b.space)
+			b.space = make(chan struct{})
+		}
+	}
+	f.mu.Unlock()
+	f.wake()
+	<-f.done
+	f.pool.Wait()
+	if guardDone != nil {
+		<-guardDone
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package fleet
+
+import "milr/internal/serve"
+
+// ModelStats is one registered model's view of Fleet.Stats: the same
+// counters, batch-fill histogram, queue depth and bounded-window
+// latency quantiles a standalone serve.Server reports, plus the
+// model's admission-control and fair-share configuration and the fleet
+// guard's per-model scrub counters.
+type ModelStats struct {
+	serve.Stats
+	// Queued is the number of requests sitting in the model's admission
+	// queue right now, awaiting a batch — the quantity the queue cap
+	// bounds. (Stats.QueueDepth additionally counts requests already in
+	// an executing batch.)
+	Queued int
+	// Weight is the model's fair-share weight in the batch arbiter.
+	Weight float64
+	// QueueCap is the model's resolved admission queue cap (0 =
+	// unbounded).
+	QueueCap int
+	// Scrubs counts fleet-guard self-heal cycles completed on this
+	// model.
+	Scrubs int64
+	// ScrubFailures counts scrub cycles that returned an engine error.
+	ScrubFailures int64
+}
+
+// Stats is a point-in-time snapshot of the whole fleet, keyed by model
+// name, plus fleet-level aggregates.
+type Stats struct {
+	// Models holds one ModelStats per registered model.
+	Models map[string]ModelStats
+	// Rejected is the fleet-wide total of fast-fail admission
+	// rejections (the sum of every model's Rejected counter).
+	Rejected int64
+	// Admitted and Served aggregate the same per-model counters
+	// fleet-wide — the one-line load summary.
+	Admitted, Served int64
+}
+
+// Stats returns a snapshot of every model's counters plus fleet-level
+// aggregates. See ModelStats and serve.Stats for field semantics.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	backends := append([]*backend(nil), f.order...)
+	queued := make([]int, len(backends))
+	scrubs := make([]int64, len(backends))
+	scrubErrs := make([]int64, len(backends))
+	for i, b := range backends {
+		queued[i] = len(b.pending)
+		scrubs[i], scrubErrs[i] = b.scrubs, b.scrubErr
+	}
+	f.mu.Unlock()
+	st := Stats{Models: make(map[string]ModelStats, len(backends))}
+	for i, b := range backends {
+		ms := ModelStats{
+			Stats:         b.stats.Snapshot(),
+			Queued:        queued[i],
+			Weight:        b.weight,
+			QueueCap:      b.cap,
+			Scrubs:        scrubs[i],
+			ScrubFailures: scrubErrs[i],
+		}
+		st.Models[b.name] = ms
+		st.Rejected += ms.Rejected
+		st.Admitted += ms.Admitted
+		st.Served += ms.Served
+	}
+	return st
+}

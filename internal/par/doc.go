@@ -10,7 +10,10 @@
 //     as-is so tests can inject worker counts (e.g. 2 on a 1-core CI
 //     box) and prove parallel–serial equivalence.
 //   - Pools are joined: every function returns only after all workers
-//     have exited. No goroutine outlives the call.
+//     have exited. No goroutine outlives the call. (Pool, the long-lived
+//     executor behind the fleet router's shared batch budget, is the one
+//     deliberate exception: its tasks outlive the submitting call and
+//     are joined explicitly with Wait at shutdown.)
 //   - Results are deterministic: work is addressed by index, errors are
 //     reported lowest-index-first, and nothing depends on scheduling
 //     order.

@@ -87,6 +87,80 @@ func For(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Pool is a long-lived bounded executor: at most its capacity of tasks
+// run concurrently, and slots are reserved explicitly (TryAcquire)
+// before work is started (Go), so a scheduler can decide *what* to run
+// only once it knows it *can* run — the shape the fleet router needs to
+// arbitrate one shared worker budget across many per-model queues.
+//
+// Unlike Blocks/For, a Pool is not joined per call: tasks are
+// fire-and-forget from the submitter's point of view, and Wait joins
+// everything still in flight (typically at shutdown).
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewPool builds a Pool following the repository's worker convention:
+// workers <= 0 resolves to 1 (serial — one task at a time), negative
+// resolves to GOMAXPROCS, n > 0 runs at most n tasks concurrently.
+func NewPool(workers int) *Pool {
+	w := workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &Pool{sem: make(chan struct{}, w)}
+}
+
+// Cap returns the pool's concurrency bound.
+func (p *Pool) Cap() int { return cap(p.sem) }
+
+// InFlight returns how many slots are currently reserved or running —
+// a monitoring snapshot, immediately stale under concurrency.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// TryAcquire reserves one slot without blocking and reports whether it
+// succeeded. A reserved slot must be consumed by exactly one Go call
+// (or returned with Release).
+func (p *Pool) TryAcquire() bool {
+	select {
+	case p.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot reserved by TryAcquire that will not be used.
+func (p *Pool) Release() { <-p.sem }
+
+// Go runs fn on a new goroutine using a slot previously reserved with
+// TryAcquire, releasing the slot when fn returns and then calling
+// afterRelease (when non-nil). Calling Go without a reservation breaks
+// the pool's bound — the reserve-then-run split is the point: it lets
+// a single dispatcher pick work only when a worker is actually free.
+// The afterRelease ordering matters for the same reason: a dispatcher
+// woken by it is guaranteed to see the freed slot, where a wake-up
+// fired from inside fn could be consumed before the release and leave
+// the dispatcher parked forever.
+func (p *Pool) Go(fn, afterRelease func()) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		fn()
+		<-p.sem
+		if afterRelease != nil {
+			afterRelease()
+		}
+	}()
+}
+
+// Wait blocks until every task started with Go has returned.
+func (p *Pool) Wait() { p.wg.Wait() }
+
 // ForErr is For with error collection. All items run (no early abort —
 // the work is side-effect-bearing and partial completion must stay
 // well-defined); the error with the lowest index is returned so the

@@ -99,3 +99,91 @@ func TestZeroItems(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	if p.Cap() != 3 {
+		t.Fatalf("cap = %d, want 3", p.Cap())
+	}
+	var running, peak atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	launched := 0
+	for i := 0; i < 3; i++ {
+		if !p.TryAcquire() {
+			t.Fatalf("slot %d unavailable on a fresh pool", i)
+		}
+		launched++
+		p.Go(func() {
+			n := running.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			started <- struct{}{}
+			<-release
+			running.Add(-1)
+		}, nil)
+	}
+	for i := 0; i < launched; i++ {
+		<-started
+	}
+	if p.TryAcquire() {
+		t.Fatal("acquired a 4th slot from a 3-slot pool with all workers busy")
+	}
+	if p.InFlight() != 3 {
+		t.Fatalf("in-flight = %d, want 3", p.InFlight())
+	}
+	close(release)
+	p.Wait()
+	if got := peak.Load(); got != 3 {
+		t.Fatalf("peak concurrency %d, want 3", got)
+	}
+	if !p.TryAcquire() {
+		t.Fatal("slot not reusable after Wait")
+	}
+	p.Release()
+}
+
+func TestPoolSerialConvention(t *testing.T) {
+	// workers 0 = serial (one task at a time), negative = GOMAXPROCS —
+	// the same convention as Resolve-based pools.
+	if got := NewPool(0).Cap(); got != 1 {
+		t.Fatalf("NewPool(0) cap = %d, want 1 (serial)", got)
+	}
+	if got := NewPool(-1).Cap(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(-1) cap = %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestPoolRelease(t *testing.T) {
+	p := NewPool(1)
+	if !p.TryAcquire() {
+		t.Fatal("fresh pool has no slot")
+	}
+	if p.TryAcquire() {
+		t.Fatal("1-slot pool handed out two slots")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+	ran := make(chan struct{})
+	freed := make(chan struct{})
+	p.Go(func() { close(ran) }, func() {
+		// afterRelease must observe the freed slot: this is the wake
+		// ordering the fleet dispatcher depends on.
+		if !p.TryAcquire() {
+			t.Error("afterRelease ran before the slot was returned")
+			close(freed)
+			return
+		}
+		p.Release()
+		close(freed)
+	})
+	<-ran
+	<-freed
+	p.Wait()
+}

@@ -35,6 +35,9 @@
 // The package sits between the public façade (milr.Runtime.NewServer /
 // NewGuardedServer construct Servers) and the inference substrate
 // (internal/nn); it deliberately knows nothing about the MILR engine
-// beyond the opaque Gate hook. See ARCHITECTURE.md for the full layer
-// map.
+// beyond the opaque Gate hook. Its stats machinery (Collector, Stats —
+// lifetime counters plus exact latency quantiles over a bounded
+// sliding window, so a long-lived server's stats memory never grows)
+// is shared with internal/fleet, which keeps one Collector per
+// registered model. See ARCHITECTURE.md for the full layer map.
 package serve

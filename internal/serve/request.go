@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"milr/internal/nn"
+	"milr/internal/tensor"
+)
+
+// This file is the request/batch-execution machinery shared by the two
+// dispatchers in the repository: the single-model Server in this
+// package and the multi-model router in internal/fleet. Keeping it in
+// one place keeps their semantics provably identical — cancellation at
+// flush, gate-wrapped execution, per-request demux and stats all come
+// from here.
+
+// Request is one admitted sample waiting to be coalesced into a batch.
+// Build one with NewRequest at admission time; the dispatcher that owns
+// the queue eventually answers it through ExecuteBatch, and the caller
+// collects the answer with Await.
+type Request struct {
+	x   *tensor.Tensor
+	ctx context.Context
+	enq time.Time
+	// done receives exactly one result. Buffered so the executor never
+	// blocks on a caller that abandoned the request.
+	done chan result
+}
+
+type result struct {
+	class int
+	err   error
+}
+
+// NewRequest builds a Request for x under ctx, stamped with the
+// admission time the latency quantiles measure from.
+func NewRequest(ctx context.Context, x *tensor.Tensor) *Request {
+	return &Request{x: x, ctx: ctx, enq: time.Now(), done: make(chan result, 1)}
+}
+
+// EnqueuedAt returns the admission timestamp — what a dispatcher's
+// coalescing window (MaxDelay) is measured against.
+func (r *Request) EnqueuedAt() time.Time { return r.enq }
+
+// Await blocks until the request is answered or ctx is done, whichever
+// comes first; an abandoned request is answered into its buffered
+// channel and dropped.
+func (r *Request) Await(ctx context.Context) (int, error) {
+	select {
+	case res := <-r.done:
+		return res.class, res.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// ExecuteBatch answers one coalesced batch: requests whose context is
+// already done are dropped (answered with their context's error, never
+// occupying a GEMM slot), the survivors run through one
+// Model.PredictBatch — under gate when non-nil — and each gets its own
+// result back. Counters and latencies land in c; errPrefix names the
+// serving surface in batch-failure errors (e.g. `serve: batch` or
+// `fleet: model "mnist" batch`).
+func ExecuteBatch(m *nn.Model, gate func(func()), batch []*Request, c *Collector, errPrefix string) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- result{err: err}
+			c.Cancel()
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	xs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		xs[i] = r.x
+	}
+	var preds []int
+	var err error
+	runBatch := func() { preds, err = m.PredictBatch(xs) }
+	if gate != nil {
+		gate(runBatch)
+	} else {
+		runBatch()
+	}
+	now := time.Now()
+	if err != nil {
+		err = fmt.Errorf("%s of %d failed: %w", errPrefix, len(live), err)
+		for _, r := range live {
+			r.done <- result{err: err}
+		}
+		c.Fail(len(live))
+		return
+	}
+	lats := make([]time.Duration, len(live))
+	for i, r := range live {
+		lats[i] = now.Sub(r.enq)
+		r.done <- result{class: preds[i]}
+	}
+	c.Serve(len(live), lats)
+}

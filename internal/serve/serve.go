@@ -34,21 +34,6 @@ type Config struct {
 	Gate func(func())
 }
 
-// request is one admitted sample waiting to be batched.
-type request struct {
-	x   *tensor.Tensor
-	ctx context.Context
-	enq time.Time
-	// done receives exactly one result. Buffered so the dispatcher
-	// never blocks on a caller that abandoned the request.
-	done chan result
-}
-
-type result struct {
-	class int
-	err   error
-}
-
 // Server coalesces concurrent Predict calls into batched GEMMs over one
 // model. Build one with New (or the milr façade's Runtime.NewServer /
 // Runtime.NewGuardedServer); it is safe for concurrent use by any
@@ -61,7 +46,7 @@ type Server struct {
 	gate      func(func())
 
 	mu      sync.Mutex
-	pending []*request
+	pending []*Request
 	closed  bool
 
 	// notify carries "the queue changed" wake-ups to the dispatcher; a
@@ -70,7 +55,7 @@ type Server struct {
 	notify chan struct{}
 	done   chan struct{}
 
-	stats collector
+	stats *Collector
 }
 
 // New builds a Server over a model and starts its dispatcher goroutine.
@@ -95,7 +80,7 @@ func New(m *nn.Model, cfg Config) (*Server, error) {
 		notify:    make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
-	s.stats.fill = make([]int64, cfg.BatchSize)
+	s.stats = NewCollector(cfg.BatchSize)
 	go s.run()
 	return s, nil
 }
@@ -110,12 +95,7 @@ func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	select {
-	case res := <-r.done:
-		return res.class, res.err
-	case <-ctx.Done():
-		return 0, ctx.Err()
-	}
+	return r.Await(ctx)
 }
 
 // PredictBatch enqueues every sample of xs individually — so a caller's
@@ -127,7 +107,7 @@ func (s *Server) PredictBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, 
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("serve: empty batch")
 	}
-	reqs := make([]*request, len(xs))
+	reqs := make([]*Request, len(xs))
 	for i, x := range xs {
 		r, err := s.enqueue(ctx, x)
 		if err != nil {
@@ -137,15 +117,11 @@ func (s *Server) PredictBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, 
 	}
 	out := make([]int, len(xs))
 	for i, r := range reqs {
-		select {
-		case res := <-r.done:
-			if res.err != nil {
-				return nil, res.err
-			}
-			out[i] = res.class
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		class, err := r.Await(ctx)
+		if err != nil {
+			return nil, err
 		}
+		out[i] = class
 	}
 	return out, nil
 }
@@ -165,13 +141,13 @@ func (s *Server) Close() error {
 // Stats returns a snapshot of the server's counters, batch-fill
 // histogram and latency quantiles. See Stats for field semantics.
 func (s *Server) Stats() Stats {
-	return s.stats.snapshot()
+	return s.stats.Snapshot()
 }
 
 // enqueue validates x and appends an admission-queue entry. Validation
 // happens here, per request, so one malformed input is rejected at the
 // door instead of failing the whole batch it would have joined.
-func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*request, error) {
+func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error) {
 	if x == nil {
 		return nil, fmt.Errorf("serve: nil input")
 	}
@@ -181,7 +157,7 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*request, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := &request{x: x, ctx: ctx, enq: time.Now(), done: make(chan result, 1)}
+	r := NewRequest(ctx, x)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -191,7 +167,7 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*request, error
 	// Counted before the request becomes visible to the dispatcher, so
 	// a Stats snapshot can never show Served > Admitted or a negative
 	// QueueDepth. The collector's mutex is a leaf lock.
-	s.stats.admit()
+	s.stats.Admit()
 	s.mu.Unlock()
 	s.wake()
 	return r, nil
@@ -208,7 +184,7 @@ func (s *Server) wake() {
 
 // take moves up to batchSize-len(batch) queued requests (FIFO) into
 // batch and reports whether the server is closed.
-func (s *Server) take(batch []*request) ([]*request, bool) {
+func (s *Server) take(batch []*Request) ([]*Request, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := s.batchSize - len(batch)
@@ -261,48 +237,9 @@ func (s *Server) run() {
 	}
 }
 
-// execute answers one coalesced batch: requests whose context is
-// already done are dropped (answered with their context's error), the
-// survivors run through one Model.PredictBatch — under the gate when
-// configured — and each gets its own result back.
-func (s *Server) execute(batch []*request) {
-	live := batch[:0]
-	for _, r := range batch {
-		if err := r.ctx.Err(); err != nil {
-			r.done <- result{err: err}
-			s.stats.cancel()
-			continue
-		}
-		live = append(live, r)
-	}
-	if len(live) == 0 {
-		return
-	}
-	xs := make([]*tensor.Tensor, len(live))
-	for i, r := range live {
-		xs[i] = r.x
-	}
-	var preds []int
-	var err error
-	runBatch := func() { preds, err = s.model.PredictBatch(xs) }
-	if s.gate != nil {
-		s.gate(runBatch)
-	} else {
-		runBatch()
-	}
-	now := time.Now()
-	if err != nil {
-		err = fmt.Errorf("serve: batch of %d failed: %w", len(live), err)
-		for _, r := range live {
-			r.done <- result{err: err}
-		}
-		s.stats.fail(len(live))
-		return
-	}
-	lats := make([]time.Duration, len(live))
-	for i, r := range live {
-		lats[i] = now.Sub(r.enq)
-		r.done <- result{class: preds[i]}
-	}
-	s.stats.serve(len(live), lats)
+// execute answers one coalesced batch through the shared ExecuteBatch
+// machinery (cancellation at flush, gate-wrapped GEMM, per-request
+// demux).
+func (s *Server) execute(batch []*Request) {
+	ExecuteBatch(s.model, s.gate, batch, s.stats, "serve: batch")
 }

@@ -351,3 +351,41 @@ func TestCloseDrainsAdmittedRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestExpiredDeadlineRejectedAtEnqueue(t *testing.T) {
+	// Admission-control regression: a request whose context is already
+	// expired when it arrives must be refused at the door — it must
+	// never occupy a batch slot until flush. The batch-fill histogram
+	// is the witness: only the live request's 1-batch may appear.
+	m, xs, want := tinyModel(t, 2)
+	s, err := serve.New(m, serve.Config{BatchSize: 4, MaxDelay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.Predict(expired, xs[0]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline Predict returned %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := s.PredictBatch(expired, xs); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-deadline PredictBatch returned %v, want context.DeadlineExceeded", err)
+	}
+	st := s.Stats()
+	if st.Admitted != 0 {
+		t.Fatalf("admitted = %d, want 0 — an expired request occupied a queue slot", st.Admitted)
+	}
+
+	// A live request right after must be unaffected.
+	got, err := s.Predict(context.Background(), xs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want[1] {
+		t.Fatalf("live request after expired ones: served %d, direct %d", got, want[1])
+	}
+	if st := s.Stats(); st.Admitted != 1 || st.Served != 1 {
+		t.Fatalf("admitted/served = %d/%d, want 1/1", st.Admitted, st.Served)
+	}
+}

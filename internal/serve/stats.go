@@ -1,16 +1,23 @@
 package serve
 
 import (
-	"math/bits"
+	"sort"
 	"sync"
 	"time"
 )
 
-// Stats is a point-in-time snapshot of a Server's counters. All fields
-// describe the whole lifetime of the server up to the snapshot.
+// Stats is a point-in-time snapshot of a Server's (or, per model, a
+// fleet backend's) counters. All counters describe the whole lifetime
+// of the server up to the snapshot; the latency quantiles describe a
+// bounded sliding window (see P50).
 type Stats struct {
 	// Admitted counts requests accepted into the queue.
 	Admitted int64
+	// Rejected counts requests refused at admission because the queue
+	// was at its configured cap (fast-fail admission control — the
+	// fleet router's ErrQueueFull path). Always zero for an uncapped
+	// queue.
+	Rejected int64
 	// Served counts requests answered with a prediction.
 	Served int64
 	// Cancelled counts requests dropped at flush time because their
@@ -31,22 +38,29 @@ type Stats struct {
 	// QueueDepth is the number of requests admitted but not yet
 	// answered at snapshot time (queued or in the in-flight batch).
 	QueueDepth int
-	// P50 and P99 are approximate latency quantiles over served
-	// requests, measured from admission to answer. They are read from
-	// a power-of-two bucket histogram, so each is an upper bound that
-	// is at most 2× the true quantile.
+	// P50 and P99 are latency quantiles over served requests, measured
+	// from admission to answer. They are exact (nearest-rank) over a
+	// sliding window of the last LatencyWindow served requests, so a
+	// long-lived server's stats memory stays bounded while the
+	// quantiles still track current behaviour rather than lifetime
+	// history.
 	P50, P99 time.Duration
 }
 
-// latBuckets spans latencies from 1ns to ~4.6h in power-of-two buckets;
-// bucket i counts latencies with bit length i (i.e. in [2^(i-1), 2^i)).
-const latBuckets = 45
+// LatencyWindow is the size of the bounded latency ring behind the
+// P50/P99 quantiles: once more than this many requests have been
+// served, each new latency overwrites the oldest one.
+const LatencyWindow = 4096
 
-// collector accumulates Stats under its own lock so recording never
-// contends with the admission path's queue lock.
-type collector struct {
+// Collector accumulates Stats under its own lock so recording never
+// contends with the admission path's queue lock (the collector's mutex
+// is a leaf lock). One Collector backs each Server; the fleet router
+// keeps one per registered model. The zero value is not usable — build
+// one with NewCollector.
+type Collector struct {
 	mu          sync.Mutex
 	admitted    int64
+	rejected    int64
 	served      int64
 	cancelled   int64
 	failed      int64
@@ -54,46 +68,66 @@ type collector struct {
 	fillSum     int64
 	outstanding int64
 	fill        []int64
-	lat         [latBuckets]int64
+	// lat is the bounded latency ring: it grows to LatencyWindow and
+	// then wraps, latPos pointing at the oldest (next overwritten)
+	// entry.
+	lat    []time.Duration
+	latPos int
 }
 
-func (c *collector) admit() {
+// NewCollector builds a Collector whose batch-fill histogram spans
+// batch sizes 1..batchSize.
+func NewCollector(batchSize int) *Collector {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &Collector{fill: make([]int64, batchSize)}
+}
+
+// Admit records one request accepted into the queue.
+func (c *Collector) Admit() {
 	c.mu.Lock()
 	c.admitted++
 	c.outstanding++
 	c.mu.Unlock()
 }
 
-func (c *collector) cancel() {
+// Reject records one request refused at admission (queue at cap).
+func (c *Collector) Reject() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+}
+
+// Cancel records one admitted request dropped at flush time because its
+// context was done.
+func (c *Collector) Cancel() {
 	c.mu.Lock()
 	c.cancelled++
 	c.outstanding--
 	c.mu.Unlock()
 }
 
-// serve records one successful batch of n requests and their latencies.
-func (c *collector) serve(n int, lats []time.Duration) {
+// Serve records one successful batch of n requests and their latencies.
+func (c *Collector) Serve(n int, lats []time.Duration) {
 	c.mu.Lock()
 	c.served += int64(n)
 	c.outstanding -= int64(n)
 	c.recordBatch(n)
 	for _, l := range lats {
-		ns := l.Nanoseconds()
-		if ns < 1 {
-			ns = 1
+		if len(c.lat) < LatencyWindow {
+			c.lat = append(c.lat, l)
+			continue
 		}
-		b := bits.Len64(uint64(ns))
-		if b >= latBuckets {
-			b = latBuckets - 1
-		}
-		c.lat[b]++
+		c.lat[c.latPos] = l
+		c.latPos = (c.latPos + 1) % LatencyWindow
 	}
 	c.mu.Unlock()
 }
 
-// fail records one failed batch of n requests. The batch still ran a
+// Fail records one failed batch of n requests. The batch still ran a
 // GEMM, so it still counts toward the coalescing histogram.
-func (c *collector) fail(n int) {
+func (c *Collector) Fail(n int) {
 	c.mu.Lock()
 	c.failed += int64(n)
 	c.outstanding -= int64(n)
@@ -102,7 +136,7 @@ func (c *collector) fail(n int) {
 }
 
 // recordBatch must be called with c.mu held.
-func (c *collector) recordBatch(n int) {
+func (c *Collector) recordBatch(n int) {
 	c.batches++
 	c.fillSum += int64(n)
 	if n >= 1 && n <= len(c.fill) {
@@ -110,11 +144,15 @@ func (c *collector) recordBatch(n int) {
 	}
 }
 
-func (c *collector) snapshot() Stats {
+// Snapshot returns the collector's current Stats. Only the copies
+// happen under the collector's lock; the quantile sort runs outside
+// it, so a monitoring loop polling Snapshot never stalls the
+// admission/serve hot path for the sort's duration.
+func (c *Collector) Snapshot() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	st := Stats{
 		Admitted:   c.admitted,
+		Rejected:   c.rejected,
 		Served:     c.served,
 		Cancelled:  c.cancelled,
 		Failed:     c.failed,
@@ -125,32 +163,28 @@ func (c *collector) snapshot() Stats {
 	if c.batches > 0 {
 		st.MeanBatchFill = float64(c.fillSum) / float64(c.batches)
 	}
-	st.P50 = c.quantile(0.50)
-	st.P99 = c.quantile(0.99)
+	lat := append([]time.Duration(nil), c.lat...)
+	c.mu.Unlock()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st.P50 = quantile(lat, 0.50)
+		st.P99 = quantile(lat, 0.99)
+	}
 	return st
 }
 
-// quantile must be called with c.mu held. It returns the upper bound of
-// the first histogram bucket whose cumulative count reaches q of the
-// served total (0 when nothing has been served).
-func (c *collector) quantile(q float64) time.Duration {
-	var total int64
-	for _, n := range c.lat {
-		total += n
+// quantile returns the nearest-rank q-quantile of a sorted, non-empty
+// latency window.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++ // ceil for non-integer ranks
 	}
-	if total == 0 {
-		return 0
+	if rank < 1 {
+		rank = 1
 	}
-	target := int64(q * float64(total))
-	if target < 1 {
-		target = 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	var cum int64
-	for b, n := range c.lat {
-		cum += n
-		if cum >= target {
-			return time.Duration(int64(1) << uint(b))
-		}
-	}
-	return time.Duration(int64(1) << uint(latBuckets))
+	return sorted[rank-1]
 }

@@ -1,0 +1,79 @@
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"milr/internal/prng"
+	"milr/internal/serve"
+)
+
+// TestQuantileAccuracyKnownDistribution pins the bounded-ring quantile
+// implementation against a known distribution: serving the latencies
+// 1ms..1000ms (in shuffled order — order must not matter) must yield
+// exactly the nearest-rank p50 = 500ms and p99 = 990ms, not a bucketed
+// upper bound.
+func TestQuantileAccuracyKnownDistribution(t *testing.T) {
+	c := serve.NewCollector(8)
+	lats := make([]time.Duration, 1000)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	// Deterministic shuffle (Fisher–Yates over the repo's PRNG).
+	s := prng.New(31)
+	for i := len(lats) - 1; i > 0; i-- {
+		j := int(s.Uint64() % uint64(i+1))
+		lats[i], lats[j] = lats[j], lats[i]
+	}
+	for _, l := range lats {
+		c.Admit()
+		c.Serve(1, []time.Duration{l})
+	}
+	st := c.Snapshot()
+	if st.P50 != 500*time.Millisecond {
+		t.Fatalf("p50 = %v, want exactly 500ms", st.P50)
+	}
+	if st.P99 != 990*time.Millisecond {
+		t.Fatalf("p99 = %v, want exactly 990ms", st.P99)
+	}
+}
+
+// TestQuantileMemoryBounded pins the sliding-window semantics that keep
+// a long-lived server's stats memory bounded: after serving far more
+// requests than the window holds, the quantiles reflect only the most
+// recent LatencyWindow latencies — a server that got slower shows the
+// slow regime, not a lifetime average diluted by fast early requests.
+func TestQuantileMemoryBounded(t *testing.T) {
+	c := serve.NewCollector(8)
+	const total = 3 * serve.LatencyWindow
+	c.Admit()
+	for i := 1; i <= total; i++ {
+		c.Serve(0, []time.Duration{time.Duration(i) * time.Microsecond})
+	}
+	st := c.Snapshot()
+	// The window holds latencies (total-LatencyWindow+1)..total µs.
+	lo := total - serve.LatencyWindow
+	wantP50 := time.Duration(lo+serve.LatencyWindow/2) * time.Microsecond
+	if st.P50 != wantP50 {
+		t.Fatalf("p50 = %v, want %v (window must slide: oldest latencies evicted)", st.P50, wantP50)
+	}
+	if st.P99 <= wantP50 || st.P99 > time.Duration(total)*time.Microsecond {
+		t.Fatalf("p99 = %v out of the window's range", st.P99)
+	}
+}
+
+// TestRejectCounter pins the fast-fail admission counter the fleet's
+// queue caps report through.
+func TestRejectCounter(t *testing.T) {
+	c := serve.NewCollector(2)
+	c.Admit()
+	c.Reject()
+	c.Reject()
+	st := c.Snapshot()
+	if st.Admitted != 1 || st.Rejected != 2 {
+		t.Fatalf("admitted/rejected = %d/%d, want 1/2", st.Admitted, st.Rejected)
+	}
+	if st.QueueDepth != 1 {
+		t.Fatalf("queue depth %d, want 1 (rejected requests never occupy the queue)", st.QueueDepth)
+	}
+}

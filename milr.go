@@ -50,8 +50,20 @@
 //	defer srv.Close()
 //	class, _ := srv.Predict(ctx, x) // concurrent callers coalesce
 //
+// To serve several models at once, NewFleet routes named traffic over
+// per-model queues and one shared batch budget, with weighted fair
+// arbitration, queue caps (WithQueueCap → ErrQueueFull), a default
+// request deadline (WithDefaultDeadline), and a round-robin self-heal
+// schedule across the protected models:
+//
+//	fl := milr.NewFleet(rt)
+//	defer fl.Close()
+//	_ = fl.RegisterProtected("mnist", prot, milr.WithModelWeight(2))
+//	class, _ = fl.Predict(ctx, "mnist", x)
+//
 // See ARCHITECTURE.md for the layer map and the invariants each layer
-// guarantees, and examples/serving for a complete guarded deployment.
+// guarantees, examples/serving for a complete guarded deployment, and
+// examples/fleet for multi-model serving.
 package milr
 
 import (
@@ -110,8 +122,9 @@ type (
 	// Build one with Runtime.NewServer or Runtime.NewGuardedServer.
 	Server = serve.Server
 	// ServerStats is a Server.Stats snapshot: request counters, the
-	// batch-fill (coalescing) histogram, queue depth, and approximate
-	// p50/p99 admission-to-answer latency.
+	// batch-fill (coalescing) histogram, queue depth, and p50/p99
+	// admission-to-answer latency over a bounded sliding window of
+	// recent requests.
 	ServerStats = serve.Stats
 )
 
@@ -133,6 +146,8 @@ type Runtime struct {
 	opts     core.Options
 	batch    int
 	maxDelay time.Duration
+	queueCap int
+	deadline time.Duration
 	// workersSet records an explicit WithWorkers choice: only then do
 	// Protect, Evaluate and the server constructors retune the model's
 	// GEMM pools, so a hand-tuned model (Model.SetWorkers) is never
@@ -272,6 +287,14 @@ func (rt *Runtime) BatchSize() int { return rt.batch }
 
 // MaxBatchDelay returns the serving coalescing window.
 func (rt *Runtime) MaxBatchDelay() time.Duration { return rt.maxDelay }
+
+// QueueCap returns the fleet's default per-model admission queue cap
+// (0 = unbounded). See WithQueueCap.
+func (rt *Runtime) QueueCap() int { return rt.queueCap }
+
+// DefaultDeadline returns the fleet's default per-request deadline
+// (0 = none). See WithDefaultDeadline.
+func (rt *Runtime) DefaultDeadline() time.Duration { return rt.deadline }
 
 // Options returns the engine options this runtime protects models with.
 func (rt *Runtime) Options() Options { return rt.opts }

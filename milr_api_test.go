@@ -45,6 +45,29 @@ var goldenAPI = []string{
 	"ErrServerClosed",
 	"Server",
 	"ServerStats",
+	// Fleet (PR 4): multi-model routing over a shared worker budget,
+	// with admission control.
+	"ErrFleetClosed",
+	"ErrQueueFull",
+	"Fleet",
+	"Fleet.Close",
+	"Fleet.Predict",
+	"Fleet.PredictBatch",
+	"Fleet.Register",
+	"Fleet.RegisterProtected",
+	"Fleet.StartGuard",
+	"Fleet.Stats",
+	"FleetStats",
+	"ModelOption",
+	"ModelStats",
+	"NewFleet",
+	"Runtime.DefaultDeadline",
+	"Runtime.QueueCap",
+	"WithDefaultDeadline",
+	"WithModelBackpressure",
+	"WithModelQueueCap",
+	"WithModelWeight",
+	"WithQueueCap",
 	// Re-exported engine types.
 	"DetectionReport",
 	"Guard",
