@@ -1,0 +1,120 @@
+package milr_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// Markdown link lint, enforced in CI alongside the godoc lints: every
+// relative link and every heading anchor in the top-level documents
+// must resolve, so doc rot (a renamed example directory, a dropped
+// section) fails the build instead of shipping a dead link.
+
+// lintedDocs lists the documents the link checker walks. PAPER.md,
+// PAPERS.md and SNIPPETS.md are generated references and exempt.
+var lintedDocs = []string{"README.md", "ARCHITECTURE.md", "BENCHMARKS.md", "ROADMAP.md"}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func TestDocLinksResolve(t *testing.T) {
+	anchors := map[string]map[string]bool{}
+	bodies := map[string][]string{}
+	for _, doc := range lintedDocs {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		lines := stripFencedBlocks(string(raw))
+		bodies[doc] = lines
+		anchors[doc] = headingAnchors(lines)
+	}
+	for _, doc := range lintedDocs {
+		for ln, line := range bodies[doc] {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+					strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				path, anchor, _ := strings.Cut(target, "#")
+				file := doc
+				if path != "" {
+					if _, err := os.Stat(filepath.FromSlash(path)); err != nil {
+						t.Errorf("%s:%d: link target %q does not exist", doc, ln+1, path)
+						continue
+					}
+					file = path
+				}
+				if anchor == "" {
+					continue
+				}
+				known, linted := anchors[file]
+				if !linted {
+					t.Errorf("%s:%d: anchor link %q points into %s, which the link checker does not index — add it to lintedDocs or drop the anchor",
+						doc, ln+1, target, file)
+					continue
+				}
+				if !known[anchor] {
+					t.Errorf("%s:%d: anchor %q not found in %s (known anchors: %v)",
+						doc, ln+1, target, file, sortedKeys(known))
+				}
+			}
+		}
+	}
+}
+
+// stripFencedBlocks blanks out ``` fenced code so links and headings
+// inside code samples are neither checked nor indexed. Line numbers are
+// preserved.
+func stripFencedBlocks(s string) []string {
+	lines := strings.Split(s, "\n")
+	fenced := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			lines[i] = ""
+			continue
+		}
+		if fenced {
+			lines[i] = ""
+		}
+	}
+	return lines
+}
+
+// headingAnchors collects GitHub-style anchor slugs for every markdown
+// heading: lowercase, spaces to hyphens, punctuation dropped.
+func headingAnchors(lines []string) map[string]bool {
+	out := map[string]bool{}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		var b strings.Builder
+		for _, r := range strings.ToLower(text) {
+			switch {
+			case unicode.IsLetter(r) || unicode.IsDigit(r):
+				b.WriteRune(r)
+			case r == ' ' || r == '-':
+				b.WriteRune('-')
+			}
+		}
+		out[b.String()] = true
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -27,6 +27,45 @@ var fullyDocumented = map[string]bool{
 	"internal/fleet": true,
 }
 
+// requiredExamples lists the runnable godoc examples the façade must
+// carry (example_test.go): the self-heal loop and the fleet router,
+// the two entry points a new user reaches first. They run — and their
+// output is asserted — under `go test`, so the documented snippets
+// cannot rot; this lint makes their presence mandatory rather than
+// incidental.
+var requiredExamples = []string{
+	"ExampleProtector_SelfHealContext",
+	"ExampleNewFleet",
+}
+
+// TestFacadeExamplesPresent enforces requiredExamples: the façade's
+// documentation examples are part of its public surface, like the doc
+// comments TestDocCoverage checks.
+func TestFacadeExamplesPresent(t *testing.T) {
+	fset := token.NewFileSet()
+	matches, err := filepath.Glob("*_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, path := range matches {
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && strings.HasPrefix(fn.Name.Name, "Example") {
+				found[fn.Name.Name] = true
+			}
+		}
+	}
+	for _, name := range requiredExamples {
+		if !found[name] {
+			t.Errorf("façade example %s is missing — add it to example_test.go (runnable, with asserted output)", name)
+		}
+	}
+}
+
 func TestDocCoverage(t *testing.T) {
 	pkgs := map[string][]*ast.File{}
 	fset := token.NewFileSet()

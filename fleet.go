@@ -13,11 +13,12 @@ import (
 // arbitration and admission control. See internal/fleet for the
 // routing design and ARCHITECTURE.md for the layer map.
 
-// ErrQueueFull is returned by Fleet.Predict and Fleet.PredictBatch
-// when the target model's admission queue is at its configured cap
-// (WithQueueCap / WithModelQueueCap) and the model was not registered
-// with WithModelBackpressure. The request was refused in O(1) without
-// occupying a queue slot — shed load or retry later.
+// ErrQueueFull is returned by Fleet.Predict / Fleet.PredictBatch and by
+// a capped Server's Predict / PredictBatch when the target admission
+// queue is at its configured cap (WithQueueCap / WithModelQueueCap) and
+// the model was not registered with WithModelBackpressure. The request
+// was refused in O(1) without occupying a queue slot — shed load or
+// retry later.
 var ErrQueueFull = fleet.ErrQueueFull
 
 // ErrFleetClosed is returned by Fleet methods once Fleet.Close has
@@ -169,13 +170,14 @@ func (fl *Fleet) Close() error {
 	return fl.f.Close()
 }
 
-// WithQueueCap sets the fleet-wide default admission queue cap: the
-// most requests that may wait in any one model's queue. At cap,
-// admission fast-fails with ErrQueueFull (or blocks, for models
+// WithQueueCap sets the default admission queue cap — the most
+// requests that may wait in one admission queue — for both serving
+// surfaces: every model queue of a Fleet built from this runtime, and
+// the single queue of a Runtime.NewServer / NewGuardedServer. At cap,
+// admission fast-fails with ErrQueueFull (or blocks, for fleet models
 // registered with WithModelBackpressure) — the open-loop overload
-// story. 0 (the default) means unbounded, which matches the
-// single-model Server's behaviour. Override per model with
-// WithModelQueueCap.
+// story. 0 (the default) means unbounded. Override per fleet model
+// with WithModelQueueCap.
 func WithQueueCap(n int) Option {
 	return func(rt *Runtime) {
 		if n < 0 {
@@ -185,11 +187,11 @@ func WithQueueCap(n int) Option {
 	}
 }
 
-// WithDefaultDeadline sets the deadline a Fleet applies to every
-// Predict/PredictBatch call whose context has no deadline of its own,
-// so an open-loop client can never wait unboundedly. Zero (the
-// default) applies none; contexts that already carry a deadline are
-// never altered.
+// WithDefaultDeadline sets the deadline a Fleet or a single Server
+// applies to every Predict/PredictBatch call whose context has no
+// deadline of its own, so an open-loop client can never wait
+// unboundedly. Zero (the default) applies none; contexts that already
+// carry a deadline are never altered.
 func WithDefaultDeadline(d time.Duration) Option {
 	return func(rt *Runtime) {
 		if d < 0 {

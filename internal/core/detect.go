@@ -76,8 +76,7 @@ func (pr *Protector) convPartialCheckpoint(lp *layerPlan) (*tensor.Tensor, error
 // densePartialCheckpoint stores one output value per parameter column:
 // the product of a single PRNG input row with the parameter matrix.
 func (pr *Protector) densePartialCheckpoint(lp *layerPlan) (*tensor.Tensor, error) {
-	in := prng.TensorFor(pr.opts.Seed, lp.detectTag, 1, lp.dense.In())
-	out, err := lp.dense.RecoveryForward(in)
+	out, err := lp.dense.RecoveryForward(pr.denseProbeInput(lp))
 	if err != nil {
 		return nil, fmt.Errorf("core: partial checkpoint dense layer %d: %w", lp.idx, err)
 	}
@@ -164,6 +163,19 @@ func (pr *Protector) detectConv(lp *layerPlan) (*LayerFinding, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: detect conv layer %d: %w", lp.idx, err)
 	}
+	flagged := pr.convProbeMismatch(lp, out)
+	if len(flagged) == 0 {
+		return nil, nil
+	}
+	return &LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Filters: flagged}, nil
+}
+
+// convProbeMismatch compares a conv layer's probe response (its
+// detection input run through the layer) against the stored partial
+// checkpoint and returns the mismatching filter indices. Split from
+// detectConv so the batched recovery pipeline can verify a layer from
+// the probe sample of a pooled GEMM instead of a dedicated pass.
+func (pr *Protector) convProbeMismatch(lp *layerPlan, out *tensor.Tensor) []int {
 	gh, gw, y := out.Dim(0), out.Dim(1), out.Dim(2)
 	var flagged []int
 	pd := lp.partial.Data()
@@ -172,18 +184,30 @@ func (pr *Protector) detectConv(lp *layerPlan) (*LayerFinding, error) {
 			flagged = append(flagged, k)
 		}
 	}
-	if len(flagged) == 0 {
-		return nil, nil
-	}
-	return &LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Filters: flagged}, nil
+	return flagged
+}
+
+// denseProbeInput regenerates the dense layer's detection input row.
+func (pr *Protector) denseProbeInput(lp *layerPlan) *tensor.Tensor {
+	return prng.TensorFor(pr.opts.Seed, lp.detectTag, 1, lp.dense.In())
 }
 
 func (pr *Protector) detectDense(lp *layerPlan) (*LayerFinding, error) {
-	in := prng.TensorFor(pr.opts.Seed, lp.detectTag, 1, lp.dense.In())
-	out, err := lp.dense.RecoveryForward(in)
+	out, err := lp.dense.RecoveryForward(pr.denseProbeInput(lp))
 	if err != nil {
 		return nil, fmt.Errorf("core: detect dense layer %d: %w", lp.idx, err)
 	}
+	flagged := pr.denseProbeMismatch(lp, out)
+	if len(flagged) == 0 {
+		return nil, nil
+	}
+	return &LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Columns: flagged}, nil
+}
+
+// denseProbeMismatch is convProbeMismatch's dense counterpart: it
+// compares the probe-row response against the stored partial checkpoint
+// and returns the mismatching parameter columns.
+func (pr *Protector) denseProbeMismatch(lp *layerPlan, out *tensor.Tensor) []int {
 	od := out.Data()
 	pd := lp.partial.Data()
 	var flagged []int
@@ -192,8 +216,5 @@ func (pr *Protector) detectDense(lp *layerPlan) (*LayerFinding, error) {
 			flagged = append(flagged, j)
 		}
 	}
-	if len(flagged) == 0 {
-		return nil, nil
-	}
-	return &LayerFinding{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name(), Columns: flagged}, nil
+	return flagged
 }

@@ -46,13 +46,23 @@ type Options struct {
 	// full column rank (whole-filter recovery) or not (partial mode).
 	RankTol float64
 	// Workers bounds the worker pool used by detection (independent
-	// layers scrub concurrently) and recovery (independent filters,
-	// parameter columns, and inversion positions solve concurrently).
-	// 0 keeps the serial path, n > 0 uses at most n goroutines, and a
-	// negative value resolves to GOMAXPROCS. Every parallel path is
-	// bit-identical to the serial one, so this is purely a throughput
-	// knob.
+	// layers scrub concurrently) and recovery (independent checkpoint
+	// segments, filters, parameter columns, and inversion positions
+	// solve concurrently). 0 keeps the serial path, n > 0 uses at most
+	// n goroutines, and a negative value resolves to GOMAXPROCS. Every
+	// parallel path is bit-identical to the serial one, so this is
+	// purely a throughput knob.
 	Workers int
+	// SequentialRecovery switches Recover/SelfHeal back to the original
+	// one-layer-at-a-time pipeline: each flagged layer re-propagates its
+	// own golden tensors from the nearest checkpoints and verifies with
+	// a dedicated probe pass. The default batched pipeline amortizes one
+	// propagation sweep per checkpoint segment instead and is
+	// bit-identical to this path (pinned by the equivalence tests); the
+	// flag exists as the reference implementation for those tests and
+	// for A/B benchmarks (BenchmarkBatchedRecovery), not as a tuning
+	// knob.
+	SequentialRecovery bool
 }
 
 // workerPool translates Options.Workers into the convention of
@@ -284,6 +294,28 @@ func buildPlan(m *nn.Model, opts Options) (*plan, error) {
 	}
 	sort.Ints(p.boundarySet)
 	return p, nil
+}
+
+// segment is one checkpoint-to-checkpoint span: layers [start, end)
+// share the golden tensors stored (or regenerable) at the two bounding
+// positions. Golden propagation never crosses a boundary, so segments
+// are the recovery pipeline's unit of independence: layers inside one
+// segment must recover in ascending order (their golden tensors move
+// through each other), while distinct segments share nothing but
+// read-only checkpoints and may recover concurrently.
+type segment struct {
+	start, end int
+}
+
+// segments returns the checkpoint segments in ascending order. The
+// boundary set always contains 0 and NumLayers, so the segments tile
+// the whole layer range.
+func (p *plan) segments() []segment {
+	out := make([]segment, 0, len(p.boundarySet)-1)
+	for i := 0; i+1 < len(p.boundarySet); i++ {
+		out = append(out, segment{start: p.boundarySet[i], end: p.boundarySet[i+1]})
+	}
+	return out
 }
 
 // precedingBoundary returns the greatest boundary position ≤ i.

@@ -64,8 +64,12 @@ func (r *RecoveryReport) AllRecovered() bool {
 }
 
 // Recover runs MILR's error-recovery phase over a detection report:
-// erroneous layers are re-solved in sequential order (§V-A), each from
-// golden input/output pairs moved to it from the nearest checkpoints.
+// erroneous layers are re-solved in ascending order within each
+// checkpoint segment (§V-A), each from golden input/output pairs moved
+// to it from the nearest checkpoints — by default through the batched
+// pipeline (one golden-propagation sweep pair per segment, independent
+// segments concurrent; see recoverSegments), which is bit-identical to
+// the per-layer reference path Options.SequentialRecovery selects.
 // "The system can only recover at most one layer in between two
 // checkpoints, but any number of parameter errors in that layer can be
 // recovered" — with several erroneous layers per segment the golden
@@ -87,15 +91,32 @@ func (pr *Protector) RecoverContext(ctx context.Context, report *DetectionReport
 	return pr.recoverLocked(ctx, report)
 }
 
-// recoverLocked requires pr.mu. Layers recover sequentially — golden
-// tensors move *through* neighbouring layers, so cross-layer order is
-// semantic — but within a layer the independent filters, parameter
-// columns, and inversion positions solve on the engine's worker pool.
+// recoverLocked requires pr.mu. Layers within one checkpoint segment
+// recover in ascending order — golden tensors move *through*
+// neighbouring layers, so intra-segment order is semantic — while the
+// independent segments, and within a layer the independent filters,
+// parameter columns, and inversion positions, run on the engine's
+// worker pool. The default pipeline batches each segment's golden
+// propagation into one sweep (see recoverSegments);
+// Options.SequentialRecovery selects the original one-layer-at-a-time
+// reference path, which is bit-identical.
 func (pr *Protector) recoverLocked(ctx context.Context, report *DetectionReport) (*RecoveryReport, error) {
-	out := &RecoveryReport{}
 	findings := make([]LayerFinding, len(report.Findings))
 	copy(findings, report.Findings)
 	sort.Slice(findings, func(i, j int) bool { return findings[i].Layer < findings[j].Layer })
+	if pr.opts.SequentialRecovery {
+		return pr.recoverSequential(ctx, findings)
+	}
+	return pr.recoverSegments(ctx, findings)
+}
+
+// recoverSequential is the reference recovery pipeline: each flagged
+// layer fetches its own golden pair from the nearest checkpoints and
+// verifies with a dedicated probe pass. Kept as the baseline the
+// batched pipeline is pinned bit-identical against (equivalence tests,
+// BenchmarkBatchedRecovery); findings must be sorted by layer.
+func (pr *Protector) recoverSequential(ctx context.Context, findings []LayerFinding) (*RecoveryReport, error) {
+	out := &RecoveryReport{}
 	for _, f := range findings {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -109,9 +130,9 @@ func (pr *Protector) recoverLocked(ctx context.Context, report *DetectionReport)
 		case roleDense:
 			res, err = pr.recoverDense(lp, f)
 		case roleBias:
-			res, err = pr.recoverBias(lp)
+			res, err = pr.recoverBiasSequential(lp)
 		case roleAffine:
-			res, err = pr.recoverAffine(lp, f)
+			res, err = pr.recoverAffineSequential(lp, f)
 		default:
 			err = fmt.Errorf("core: finding for non-parameterized layer %d", f.Layer)
 		}
@@ -153,16 +174,33 @@ func (pr *Protector) SelfHealContext(ctx context.Context) (*DetectionReport, *Re
 	return det, rec, nil
 }
 
+// recoverConv is the sequential-path conv recovery: fetch the golden
+// pair, solve, verify with a dedicated probe pass.
 func (pr *Protector) recoverConv(lp *layerPlan, f LayerFinding) (RecoveryResult, error) {
-	res := RecoveryResult{Layer: lp.idx, Name: f.Name}
 	goldenIn, err := pr.goldenInputOf(lp.idx)
 	if err != nil {
-		return res, err
+		return RecoveryResult{Layer: lp.idx, Name: f.Name}, err
 	}
 	goldenOut, err := pr.goldenOutputOf(lp.idx)
 	if err != nil {
+		return RecoveryResult{Layer: lp.idx, Name: f.Name}, err
+	}
+	res, err := pr.solveConvFinding(lp, f, goldenIn, goldenOut)
+	if err != nil || res.Status == Failed {
 		return res, err
 	}
+	res.Status = pr.verifyConv(lp)
+	return res, nil
+}
+
+// solveConvFinding re-solves a flagged conv layer from a golden pair.
+// It performs everything up to — but not including — the post-solve
+// verification probe: on solver failure the returned result carries
+// Status Failed, otherwise Status is left unset for the caller to fill
+// from a probe pass (verifyConv on the sequential path, the pooled
+// propagation GEMM's probe sample on the batched one).
+func (pr *Protector) solveConvFinding(lp *layerPlan, f LayerFinding, goldenIn, goldenOut *tensor.Tensor) (RecoveryResult, error) {
+	res := RecoveryResult{Layer: lp.idx, Name: f.Name}
 	taps := lp.conv.FilterSize() * lp.conv.FilterSize() * lp.conv.InChannels()
 	if lp.fullSolve {
 		if err := solveConvFull(lp, goldenIn, goldenOut, f.Filters, pr.opts); err != nil {
@@ -212,59 +250,91 @@ func (pr *Protector) recoverConv(lp *layerPlan, f LayerFinding) (RecoveryResult,
 			return res, err
 		}
 	}
-	res.Status = pr.verifyConv(lp)
 	return res, nil
 }
 
+// verifyConv runs the conv layer's dedicated post-recovery probe pass
+// (the sequential path; the batched pipeline reads the same comparison
+// off its pooled propagation GEMM instead).
 func (pr *Protector) verifyConv(lp *layerPlan) RecoveryStatus {
 	out, err := lp.conv.RecoveryForward(pr.detectInput(lp))
 	if err != nil {
 		return Failed
 	}
-	gh, gw, y := out.Dim(0), out.Dim(1), out.Dim(2)
-	pd := lp.partial.Data()
-	for k := 0; k < y; k++ {
-		if relMismatch(float64(out.At(gh/2, gw/2, k)), float64(pd[k]), pr.opts.DetectTol) {
-			return Approximate
-		}
+	return pr.convProbeStatus(lp, out)
+}
+
+// convProbeStatus classifies a recovered conv layer from its probe
+// response: clean against the partial checkpoint means Recovered,
+// anything else Approximate.
+func (pr *Protector) convProbeStatus(lp *layerPlan, out *tensor.Tensor) RecoveryStatus {
+	if len(pr.convProbeMismatch(lp, out)) > 0 {
+		return Approximate
 	}
 	return Recovered
 }
 
+// recoverDense is the sequential-path dense recovery: solve, then
+// verify with a dedicated probe pass.
 func (pr *Protector) recoverDense(lp *layerPlan, f LayerFinding) (RecoveryResult, error) {
-	res := RecoveryResult{Layer: lp.idx, Name: f.Name}
+	res, ok := pr.solveDenseFinding(lp, f)
+	if !ok {
+		return res, nil
+	}
+	out, err := lp.dense.RecoveryForward(pr.denseProbeInput(lp))
+	if err != nil {
+		return res, fmt.Errorf("core: detect dense layer %d: %w", lp.idx, err)
+	}
+	pr.denseProbeResult(lp, out, &res)
+	return res, nil
+}
+
+// solveDenseFinding re-solves a flagged dense layer's columns from the
+// stored dummy outputs (no golden propagation needed). ok reports
+// whether the solve succeeded and verification is still pending; on
+// failure the result already carries Status Failed.
+func (pr *Protector) solveDenseFinding(lp *layerPlan, f LayerFinding) (res RecoveryResult, ok bool) {
+	res = RecoveryResult{Layer: lp.idx, Name: f.Name}
 	if err := solveDenseColumns(lp, f.Columns, pr.opts); err != nil {
 		res.Status = Failed
 		res.Detail = err.Error()
-		return res, nil
+		return res, false
 	}
 	res.Solved = len(f.Columns) * lp.dense.In()
-	finding, err := pr.detectDense(lp)
-	if err != nil {
-		return res, err
-	}
-	if finding == nil {
+	return res, true
+}
+
+// denseProbeResult fills a dense recovery result's status from the
+// layer's probe response.
+func (pr *Protector) denseProbeResult(lp *layerPlan, out *tensor.Tensor, res *RecoveryResult) {
+	still := pr.denseProbeMismatch(lp, out)
+	if len(still) == 0 {
 		res.Status = Recovered
 	} else {
 		res.Status = Approximate
-		res.Detail = fmt.Sprintf("%d columns still mismatch", len(finding.Columns))
+		res.Detail = fmt.Sprintf("%d columns still mismatch", len(still))
 	}
-	return res, nil
+}
+
+// recoverBiasSequential fetches the golden pair for recoverBias.
+func (pr *Protector) recoverBiasSequential(lp *layerPlan) (RecoveryResult, error) {
+	goldenIn, err := pr.goldenInputOf(lp.idx)
+	if err != nil {
+		return RecoveryResult{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name()}, err
+	}
+	goldenOut, err := pr.goldenOutputOf(lp.idx)
+	if err != nil {
+		return RecoveryResult{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name()}, err
+	}
+	return pr.recoverBias(lp, goldenIn, goldenOut)
 }
 
 // recoverBias re-solves bias parameters by subtracting the golden input
 // from the golden output and "cleaning" the broadcast copies by
-// averaging them (§IV-E-b).
-func (pr *Protector) recoverBias(lp *layerPlan) (RecoveryResult, error) {
+// averaging them (§IV-E-b). Verification (the parameter sum) is
+// arithmetic, so both pipelines share the whole function.
+func (pr *Protector) recoverBias(lp *layerPlan, goldenIn, goldenOut *tensor.Tensor) (RecoveryResult, error) {
 	res := RecoveryResult{Layer: lp.idx, Name: pr.model.Layer(lp.idx).Name()}
-	goldenIn, err := pr.goldenInputOf(lp.idx)
-	if err != nil {
-		return res, err
-	}
-	goldenOut, err := pr.goldenOutputOf(lp.idx)
-	if err != nil {
-		return res, err
-	}
 	diff := goldenOut.Clone()
 	if err := diff.Sub(goldenIn); err != nil {
 		return res, fmt.Errorf("core: bias layer %d: %w", lp.idx, err)

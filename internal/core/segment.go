@@ -1,0 +1,288 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"milr/internal/par"
+	"milr/internal/tensor"
+)
+
+// Batched recovery pipeline. The sequential reference path
+// (recoverSequential) moves golden tensors to every flagged layer
+// independently: layer i re-reads the checkpoint at its preceding
+// boundary, re-propagates forward through layers the previous flagged
+// layer's propagation already visited, and verifies with a dedicated
+// probe pass. This file amortizes all of that per checkpoint segment:
+//
+//   - one backward sweep per segment inverts from the succeeding
+//     checkpoint once, capturing every flagged layer's golden output on
+//     the way down (the inversions between two flagged layers are shared
+//     instead of recomputed per layer);
+//   - one forward sweep per segment propagates from the preceding
+//     checkpoint once, pausing at each flagged layer to re-solve it and
+//     then carrying the propagation on *through the recovered layer* —
+//     and for the GEMM layers (conv, dense) the continuation is stacked
+//     with the layer's post-recovery verification probe into a single
+//     pooled GEMM (nn.RecoveryForwardBatch, the Im2ColBand-stacked
+//     product), so propagation and verification cost one kernel
+//     invocation, not two;
+//   - segments share nothing but read-only checkpoints, so they recover
+//     concurrently on the engine's worker pool (Options.Workers).
+//
+// The result is at most one propagation/verification GEMM per conv or
+// dense layer per segment (enforced via the tensor.GEMMCalls counter in
+// segment_test.go), and one checkpoint read per segment end instead of
+// one per flagged layer. Everything is bit-identical to the sequential
+// path: the sweeps visit the same layers in the same order with the
+// same parameter states — a layer's recovery never changes the
+// propagation *up to* its own input, and inversion above a flagged
+// layer never depends on layers below it — and the stacked GEMM is
+// per-sample bit-identical to the single-sample kernels
+// (internal/nn/batch_equiv_test.go). Pinned by
+// TestBatchedSequentialRecoveryEquivalence and the façade-level
+// TestRecoveryPipelineBitIdentity.
+
+// segmentNeedsGoldenIn reports whether recovering a layer of this role
+// consumes the golden input (dense layers re-solve purely from stored
+// dummy outputs). Unknown roles return true so the forward sweep
+// reaches the layer and reports the malformed finding in order.
+func segmentNeedsGoldenIn(r roleKind) bool { return r != roleDense }
+
+// segmentNeedsGoldenOut reports whether recovering a layer of this role
+// consumes the golden output.
+func segmentNeedsGoldenOut(r roleKind) bool {
+	return r == roleConv || r == roleBias || r == roleAffine
+}
+
+// recoverSegments is the batched recovery pipeline: findings (sorted by
+// layer) are grouped by checkpoint segment and each non-empty segment
+// recovers with one backward and one forward sweep, segments fanning
+// out on the engine's worker pool. Results are assembled in ascending
+// layer order, so the report is identical to the sequential one.
+func (pr *Protector) recoverSegments(ctx context.Context, findings []LayerFinding) (*RecoveryReport, error) {
+	segs := pr.plan.segments()
+	groups := make([][]LayerFinding, 0, len(segs))
+	bounds := make([]segment, 0, len(segs))
+	si := 0
+	for _, f := range findings {
+		if f.Layer < 0 || f.Layer >= pr.model.NumLayers() {
+			return nil, fmt.Errorf("core: finding for layer %d out of range [0,%d)", f.Layer, pr.model.NumLayers())
+		}
+		for segs[si].end <= f.Layer {
+			si++
+		}
+		if n := len(bounds); n == 0 || bounds[n-1] != segs[si] {
+			bounds = append(bounds, segs[si])
+			groups = append(groups, nil)
+		}
+		groups[len(groups)-1] = append(groups[len(groups)-1], f)
+	}
+	slots := make([][]RecoveryResult, len(groups))
+	err := par.ForErr(len(groups), pr.opts.workerPool(), func(g int) error {
+		results, err := pr.recoverSegment(ctx, bounds[g], groups[g])
+		slots[g] = results
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RecoveryReport{}
+	for _, results := range slots {
+		out.Results = append(out.Results, results...)
+	}
+	return out, nil
+}
+
+// recoverSegment recovers one segment's flagged layers (sorted
+// ascending) with the two-sweep pipeline. The context is checked once
+// per flagged layer, exactly like the sequential path, so cancellation
+// stays layer-atomic with the same granularity — with the first
+// flagged layer's check hoisted above the sweeps, so a cancelled
+// context aborts the segment before any inversion or propagation work
+// (and a cancelled multi-segment pass skips the remaining segments
+// outright: each begins with this check).
+func (pr *Protector) recoverSegment(ctx context.Context, seg segment, fs []LayerFinding) ([]RecoveryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	firstChecked := true
+	checkCtx := func() error {
+		if firstChecked {
+			// The hoisted check above already covered the first flagged
+			// layer; consuming it here keeps the total context-check
+			// count identical to the sequential path's (pinned by the
+			// cancellation tests).
+			firstChecked = false
+			return nil
+		}
+		return ctx.Err()
+	}
+	flagged := make(map[int]*LayerFinding, len(fs))
+	lastIn := -1
+	firstOut := -1
+	for i := range fs {
+		f := &fs[i]
+		flagged[f.Layer] = f
+		role := pr.plan.layers[f.Layer].role
+		if segmentNeedsGoldenIn(role) && f.Layer > lastIn {
+			lastIn = f.Layer
+		}
+		if segmentNeedsGoldenOut(role) && (firstOut < 0 || f.Layer < firstOut) {
+			firstOut = f.Layer
+		}
+	}
+
+	// Backward sweep: one inversion pass from the succeeding checkpoint
+	// captures every needed golden output. All captures happen before
+	// any solving, which matches the sequential order: recovering a
+	// layer never changes the parameters of the layers *above* a later
+	// flagged layer, so pre-capturing is bit-identical.
+	outs := make(map[int]*tensor.Tensor)
+	if firstOut >= 0 {
+		cur, err := pr.boundaryTensor(seg.end)
+		if err != nil {
+			return nil, err
+		}
+		for j := seg.end - 1; j >= firstOut; j-- {
+			if f := flagged[j]; f != nil && segmentNeedsGoldenOut(pr.plan.layers[j].role) {
+				outs[j] = cur
+			}
+			if j > firstOut {
+				cur, err = pr.invertLayer(j, cur)
+				if err != nil {
+					return nil, fmt.Errorf("core: invert layer %d (%s): %w", j, pr.model.Layer(j).Name(), err)
+				}
+			}
+		}
+	}
+
+	// Forward sweep: one propagation pass from the preceding checkpoint,
+	// re-solving each flagged layer as it is reached and carrying the
+	// propagation on through the recovered parameters. Flagged GEMM
+	// layers stack the continuation with their verification probe into
+	// one pooled GEMM.
+	var results []RecoveryResult
+	if lastIn >= 0 {
+		cur, err := pr.boundaryTensor(seg.start)
+		if err != nil {
+			return nil, err
+		}
+		for j := seg.start; j <= lastIn; j++ {
+			f := flagged[j]
+			if f == nil {
+				cur, err = pr.model.Layer(j).RecoveryForward(cur)
+				if err != nil {
+					return nil, fmt.Errorf("core: segment forward layer %d (%s): %w", j, pr.model.Layer(j).Name(), err)
+				}
+				continue
+			}
+			if err := checkCtx(); err != nil {
+				return results, err
+			}
+			res, next, err := pr.recoverSweptLayer(pr.plan.layers[j], f, cur, outs[j], j < lastIn)
+			if err != nil {
+				return results, err
+			}
+			results = append(results, res)
+			cur = next
+		}
+	}
+
+	// Flagged layers past lastIn need no golden propagation (dense, by
+	// construction): solve from stored dummy outputs and verify with a
+	// standalone probe, exactly one GEMM each — same as the sequential
+	// path, with no propagation spent reaching them.
+	for i := range fs {
+		f := &fs[i]
+		if f.Layer <= lastIn {
+			continue
+		}
+		if err := checkCtx(); err != nil {
+			return results, err
+		}
+		lp := pr.plan.layers[f.Layer]
+		if lp.role != roleDense {
+			return results, fmt.Errorf("core: finding for non-parameterized layer %d", f.Layer)
+		}
+		res, err := pr.recoverDense(lp, *f)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// recoverSweptLayer re-solves one flagged layer reached by the forward
+// sweep, verifies it, and — when propagate is set — returns the golden
+// activation carried through the recovered layer. For conv and dense
+// layers the continuation and the verification probe share one pooled
+// GEMM; bias and affine layers verify arithmetically inside their
+// solvers and propagate with a plain forward.
+func (pr *Protector) recoverSweptLayer(lp *layerPlan, f *LayerFinding, goldenIn, goldenOut *tensor.Tensor, propagate bool) (RecoveryResult, *tensor.Tensor, error) {
+	var res RecoveryResult
+	var err error
+	verify := false
+	switch lp.role {
+	case roleConv:
+		res, err = pr.solveConvFinding(lp, *f, goldenIn, goldenOut)
+		verify = err == nil && res.Status != Failed
+	case roleDense:
+		res, verify = pr.solveDenseFinding(lp, *f)
+	case roleBias:
+		res, err = pr.recoverBias(lp, goldenIn, goldenOut)
+	case roleAffine:
+		res, err = pr.recoverAffine(lp, *f, goldenIn, goldenOut)
+	default:
+		return res, nil, fmt.Errorf("core: finding for non-parameterized layer %d", f.Layer)
+	}
+	if err != nil {
+		return res, nil, err
+	}
+	layer := pr.model.Layer(lp.idx)
+	if !verify {
+		// Nothing to probe (bias/affine verified arithmetically, or the
+		// solver failed): plain single-sample propagation when needed.
+		if !propagate {
+			return res, nil, nil
+		}
+		next, err := layer.RecoveryForward(goldenIn)
+		if err != nil {
+			return res, nil, fmt.Errorf("core: segment forward layer %d (%s): %w", lp.idx, layer.Name(), err)
+		}
+		return res, next, nil
+	}
+	var probe *tensor.Tensor
+	if lp.role == roleConv {
+		probe = pr.detectInput(lp)
+	} else {
+		probe = pr.denseProbeInput(lp)
+	}
+	var probeOut, next *tensor.Tensor
+	if propagate {
+		// The pooled GEMM: golden propagation and verification probe in
+		// one stacked product, bit-identical per sample to two passes.
+		var outs []*tensor.Tensor
+		if lp.role == roleConv {
+			outs, err = lp.conv.RecoveryForwardBatch([]*tensor.Tensor{goldenIn, probe})
+		} else {
+			outs, err = lp.dense.RecoveryForwardBatch([]*tensor.Tensor{goldenIn, probe})
+		}
+		if err != nil {
+			return res, nil, fmt.Errorf("core: segment forward layer %d (%s): %w", lp.idx, layer.Name(), err)
+		}
+		next, probeOut = outs[0], outs[1]
+	} else {
+		probeOut, err = layer.RecoveryForward(probe)
+		if err != nil {
+			return res, nil, fmt.Errorf("core: verify layer %d (%s): %w", lp.idx, layer.Name(), err)
+		}
+	}
+	if lp.role == roleConv {
+		res.Status = pr.convProbeStatus(lp, probeOut)
+	} else {
+		pr.denseProbeResult(lp, probeOut, &res)
+	}
+	return res, next, nil
+}

@@ -18,7 +18,9 @@ import (
 // registered with blocking backpressure. Callers should treat it as
 // load shedding: the request was refused in O(1) without occupying a
 // queue slot, and retrying later (or against another model) is safe.
-var ErrQueueFull = errors.New("fleet: model queue full")
+// It is the same sentinel a capped standalone serve.Server returns, so
+// one errors.Is check covers both serving surfaces.
+var ErrQueueFull = serve.ErrQueueFull
 
 // ErrClosed is returned by Predict, PredictBatch and Register once
 // Close has been called. Requests admitted before the close are still
@@ -230,8 +232,12 @@ func (f *Fleet) Predict(ctx context.Context, model string, x *tensor.Tensor) (in
 // PredictBatch enqueues every sample of xs individually on the named
 // model's queue — so a caller's samples coalesce with other callers' —
 // and blocks until all are answered, returning the classes in input
-// order. On the first error the remaining answers are discarded (their
-// buffered result channels make that safe) and the error is returned.
+// order. If admission fails partway (queue cap, malformed sample,
+// Close), the samples already admitted but not yet executing are
+// removed from the model's queue — a shed batch must not leave work
+// behind that nobody will read. On the first error the remaining
+// answers are discarded (their buffered result channels make that
+// safe) and the error is returned.
 func (f *Fleet) PredictBatch(ctx context.Context, model string, xs []*tensor.Tensor) ([]int, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("fleet: empty batch")
@@ -244,6 +250,7 @@ func (f *Fleet) PredictBatch(ctx context.Context, model string, xs []*tensor.Ten
 	for i, x := range xs {
 		r, err := f.enqueue(ctx, model, x)
 		if err != nil {
+			f.unqueue(model, reqs[:i])
 			return nil, err
 		}
 		reqs[i] = r
@@ -338,6 +345,45 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 	f.mu.Unlock()
 	f.wake()
 	return r, nil
+}
+
+// unqueue removes requests a failed PredictBatch admitted that are
+// still waiting in the model's queue, recording them as cancelled.
+// Requests the dispatcher already took into a batch are past removal —
+// they are answered into their buffered channels and discarded.
+// Freed slots are broadcast to backpressure-blocked enqueuers.
+func (f *Fleet) unqueue(model string, reqs []*serve.Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	drop := make(map[*serve.Request]bool, len(reqs))
+	for _, r := range reqs {
+		drop[r] = true
+	}
+	removed := 0
+	f.mu.Lock()
+	b := f.backends[model]
+	if b == nil {
+		f.mu.Unlock()
+		return
+	}
+	kept := b.pending[:0]
+	for _, r := range b.pending {
+		if drop[r] {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	b.pending = kept
+	if removed > 0 {
+		close(b.space)
+		b.space = make(chan struct{})
+	}
+	for i := 0; i < removed; i++ {
+		b.stats.Cancel()
+	}
+	f.mu.Unlock()
 }
 
 // wake nudges the dispatcher; a full buffer means a wake-up is already

@@ -8,12 +8,10 @@ import "milr/internal/serve"
 // model's admission-control and fair-share configuration and the fleet
 // guard's per-model scrub counters.
 type ModelStats struct {
+	// Stats carries the serve-level counters; its Queued field is
+	// filled from the model's own admission queue (the quantity the
+	// queue cap bounds).
 	serve.Stats
-	// Queued is the number of requests sitting in the model's admission
-	// queue right now, awaiting a batch — the quantity the queue cap
-	// bounds. (Stats.QueueDepth additionally counts requests already in
-	// an executing batch.)
-	Queued int
 	// Weight is the model's fair-share weight in the batch arbiter.
 	Weight float64
 	// QueueCap is the model's resolved admission queue cap (0 =
@@ -56,12 +54,12 @@ func (f *Fleet) Stats() Stats {
 	for i, b := range backends {
 		ms := ModelStats{
 			Stats:         b.stats.Snapshot(),
-			Queued:        queued[i],
 			Weight:        b.weight,
 			QueueCap:      b.cap,
 			Scrubs:        scrubs[i],
 			ScrubFailures: scrubErrs[i],
 		}
+		ms.Queued = queued[i]
 		st.Models[b.name] = ms
 		st.Rejected += ms.Rejected
 		st.Admitted += ms.Admitted

@@ -6,12 +6,15 @@
 //
 // The Server owns a FIFO admission queue and one dispatcher goroutine.
 // Admission never computes anything: Predict/PredictBatch validate the
-// input shape, append a request to the queue, and block until the
-// dispatcher answers (or the request's own context is done). The
-// dispatcher coalesces up to Config.BatchSize requests per batch,
-// waiting at most Config.MaxDelay after the first request of a window
-// for stragglers, then runs exactly one ForwardBatch for the whole
-// batch and demultiplexes the per-sample results.
+// input shape, apply admission control — at Config.QueueCap the call
+// fast-fails with ErrQueueFull, and Config.Deadline bounds requests
+// whose context carries no deadline of its own — append a request to
+// the queue, and block until the dispatcher answers (or the request's
+// context is done). The dispatcher coalesces up to Config.BatchSize
+// requests per batch, waiting at most Config.MaxDelay after the first
+// request of a window for stragglers, then runs exactly one
+// ForwardBatch for the whole batch and demultiplexes the per-sample
+// results.
 //
 // Invariants, pinned by serve_test.go and the façade tests:
 //

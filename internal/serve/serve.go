@@ -15,6 +15,14 @@ import (
 // called. Requests admitted before Close are still served.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrQueueFull is returned by Predict and PredictBatch when the
+// admission queue is at its configured cap (Config.QueueCap). The
+// request was refused in O(1) without occupying a queue slot — shed
+// load or retry later. The fleet router shares this sentinel (wrapped
+// with the model name), so one errors.Is check covers both serving
+// surfaces.
+var ErrQueueFull = errors.New("admission queue full")
+
 // Config configures New.
 type Config struct {
 	// BatchSize is the largest number of requests coalesced into one
@@ -26,6 +34,17 @@ type Config struct {
 	// already queued up (greedy coalescing under backlog) but never
 	// holds a request back to fill a batch.
 	MaxDelay time.Duration
+	// QueueCap caps the admission queue: at cap, Predict and
+	// PredictBatch fast-fail with ErrQueueFull (counted in
+	// Stats.Rejected) instead of queueing unboundedly — the open-loop
+	// overload policy, at parity with the fleet router's per-model
+	// caps. 0 means unbounded, the pre-admission-control behaviour.
+	QueueCap int
+	// Deadline, when positive, is applied to every Predict/PredictBatch
+	// call whose context has no deadline of its own, so an open-loop
+	// client can never wait unboundedly. Contexts that already carry a
+	// deadline are never altered.
+	Deadline time.Duration
 	// Gate, when non-nil, wraps every batch execution. The façade sets
 	// it to Protector.Sync for guarded servers, which serializes
 	// inference batches against the engine's detect/recover cycles:
@@ -43,6 +62,8 @@ type Server struct {
 	inShape   tensor.Shape
 	batchSize int
 	maxDelay  time.Duration
+	queueCap  int
+	deadline  time.Duration
 	gate      func(func())
 
 	mu      sync.Mutex
@@ -71,11 +92,16 @@ func New(m *nn.Model, cfg Config) (*Server, error) {
 	if cfg.MaxDelay < 0 {
 		cfg.MaxDelay = 0
 	}
+	if cfg.QueueCap < 0 {
+		cfg.QueueCap = 0
+	}
 	s := &Server{
 		model:     m,
 		inShape:   m.InShape(),
 		batchSize: cfg.BatchSize,
 		maxDelay:  cfg.MaxDelay,
+		queueCap:  cfg.QueueCap,
+		deadline:  cfg.Deadline,
 		gate:      cfg.Gate,
 		notify:    make(chan struct{}, 1),
 		done:      make(chan struct{}),
@@ -87,10 +113,16 @@ func New(m *nn.Model, cfg Config) (*Server, error) {
 
 // Predict enqueues one sample and blocks until its batch has been
 // served. The answer is bit-identical to a direct Model.Predict call.
-// If ctx is done before the batch executes, Predict returns ctx's error
-// and the request is dropped from its batch without affecting the other
-// requests in it.
+// It returns ErrQueueFull when the admission queue is at its configured
+// cap, ErrClosed after Close, and the context's error if ctx — or the
+// server's default deadline (Config.Deadline) — expires before the
+// batch executes; the dead request is dropped from its batch without
+// affecting the other requests in it.
 func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (int, error) {
+	ctx, cancel := s.withDeadline(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
 	r, err := s.enqueue(ctx, x)
 	if err != nil {
 		return 0, err
@@ -98,19 +130,39 @@ func (s *Server) Predict(ctx context.Context, x *tensor.Tensor) (int, error) {
 	return r.Await(ctx)
 }
 
+// withDeadline applies the server's default deadline to contexts that
+// carry none. The returned cancel func is nil when ctx is unchanged.
+func (s *Server) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.deadline <= 0 {
+		return ctx, nil
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, s.deadline)
+}
+
 // PredictBatch enqueues every sample of xs individually — so a caller's
 // samples coalesce with other callers' — and blocks until all are
-// answered, returning the classes in input order. On the first error
-// the remaining answers are discarded (their buffered result channels
-// make that safe) and the error is returned.
+// answered, returning the classes in input order. If admission fails
+// partway (the queue cap, a malformed sample, Close), the samples
+// already admitted but not yet executing are removed from the queue —
+// a shed batch must not leave work behind that nobody will read. On
+// the first error the remaining answers are discarded (their buffered
+// result channels make that safe) and the error is returned.
 func (s *Server) PredictBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("serve: empty batch")
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	if cancel != nil {
+		defer cancel()
 	}
 	reqs := make([]*Request, len(xs))
 	for i, x := range xs {
 		r, err := s.enqueue(ctx, x)
 		if err != nil {
+			s.unqueue(reqs[:i])
 			return nil, err
 		}
 		reqs[i] = r
@@ -141,12 +193,20 @@ func (s *Server) Close() error {
 // Stats returns a snapshot of the server's counters, batch-fill
 // histogram and latency quantiles. See Stats for field semantics.
 func (s *Server) Stats() Stats {
-	return s.stats.Snapshot()
+	// Snapshot under the queue lock (the collector's mutex is a leaf
+	// lock), so Queued is consistent with the counters — an admission
+	// cannot land between the two reads.
+	s.mu.Lock()
+	st := s.stats.Snapshot()
+	st.Queued = len(s.pending)
+	s.mu.Unlock()
+	return st
 }
 
-// enqueue validates x and appends an admission-queue entry. Validation
-// happens here, per request, so one malformed input is rejected at the
-// door instead of failing the whole batch it would have joined.
+// enqueue validates x, applies admission control, and appends a queue
+// entry. Validation happens here, per request, so one malformed input
+// is rejected at the door instead of failing the whole batch it would
+// have joined.
 func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error) {
 	if x == nil {
 		return nil, fmt.Errorf("serve: nil input")
@@ -163,6 +223,13 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if s.queueCap > 0 && len(s.pending) >= s.queueCap {
+		// Counted before unlocking for the same snapshot-consistency
+		// reason as Admit below.
+		s.stats.Reject()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: %w", ErrQueueFull)
+	}
 	s.pending = append(s.pending, r)
 	// Counted before the request becomes visible to the dispatcher, so
 	// a Stats snapshot can never show Served > Admitted or a negative
@@ -171,6 +238,36 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error
 	s.mu.Unlock()
 	s.wake()
 	return r, nil
+}
+
+// unqueue removes requests a failed PredictBatch admitted that are
+// still waiting in the queue, recording them as cancelled. Requests
+// the dispatcher already took into a batch are past removal — they are
+// answered into their buffered channels and discarded, exactly like a
+// caller that stopped awaiting.
+func (s *Server) unqueue(reqs []*Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	drop := make(map[*Request]bool, len(reqs))
+	for _, r := range reqs {
+		drop[r] = true
+	}
+	removed := 0
+	s.mu.Lock()
+	kept := s.pending[:0]
+	for _, r := range s.pending {
+		if drop[r] {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.pending = kept
+	for i := 0; i < removed; i++ {
+		s.stats.Cancel()
+	}
+	s.mu.Unlock()
 }
 
 // wake nudges the dispatcher; a full buffer means a wake-up is already

@@ -298,6 +298,56 @@ func TestAdmissionValidation(t *testing.T) {
 	}
 }
 
+// TestPredictBatchQueueCapUnqueuesAdmitted pins the shed-batch
+// contract: when a PredictBatch hits the queue cap partway through
+// admission, the samples it already admitted — whose answers nobody
+// will read — are removed from the queue instead of burning a GEMM,
+// and are accounted as cancelled.
+func TestPredictBatchQueueCapUnqueuesAdmitted(t *testing.T) {
+	m, xs, want := tinyModel(t, 3)
+	br := newBrake()
+	s, err := serve.New(m, serve.Config{BatchSize: 1, MaxDelay: 0, QueueCap: 1, Gate: br.gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Park one request inside the gate so the queue-cap state is
+	// deterministic for the PredictBatch that follows.
+	type answer struct {
+		class int
+		err   error
+	}
+	first := make(chan answer, 1)
+	go func() {
+		class, err := s.Predict(ctx, xs[0])
+		first <- answer{class, err}
+	}()
+	<-br.entered // request 0 taken from the queue, parked in the gate
+
+	// Two samples against a cap of 1: the first is admitted, the second
+	// rejected — and the first must be unqueued on the way out.
+	if _, err := s.PredictBatch(ctx, xs[1:3]); !errors.Is(err, serve.ErrQueueFull) {
+		t.Fatalf("PredictBatch over cap: %v, want ErrQueueFull", err)
+	}
+	st := s.Stats()
+	if st.Queued != 0 || st.Cancelled != 1 || st.Rejected != 1 {
+		t.Fatalf("queued/cancelled/rejected = %d/%d/%d, want 0/1/1 (stats %+v)",
+			st.Queued, st.Cancelled, st.Rejected, st)
+	}
+
+	br.release <- struct{}{}
+	if a := <-first; a.err != nil || a.class != want[0] {
+		t.Fatalf("parked request: class %d err %v, want %d", a.class, a.err, want[0])
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Served != 1 {
+		t.Fatalf("served %d, want 1 — an unqueued request was executed anyway", st.Served)
+	}
+}
+
 func TestCloseDrainsAdmittedRequests(t *testing.T) {
 	m, xs, want := tinyModel(t, 6)
 	br := newBrake()

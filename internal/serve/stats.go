@@ -15,8 +15,8 @@ type Stats struct {
 	Admitted int64
 	// Rejected counts requests refused at admission because the queue
 	// was at its configured cap (fast-fail admission control — the
-	// fleet router's ErrQueueFull path). Always zero for an uncapped
-	// queue.
+	// ErrQueueFull path, on a capped Server or a fleet model queue).
+	// Always zero for an uncapped queue.
 	Rejected int64
 	// Served counts requests answered with a prediction.
 	Served int64
@@ -38,6 +38,12 @@ type Stats struct {
 	// QueueDepth is the number of requests admitted but not yet
 	// answered at snapshot time (queued or in the in-flight batch).
 	QueueDepth int
+	// Queued is the number of requests sitting in the admission queue
+	// right now, awaiting a batch — the quantity a queue cap bounds.
+	// (QueueDepth additionally counts requests already in an executing
+	// batch.) Filled by Server.Stats and the fleet's per-model
+	// snapshot, not by Collector.Snapshot, which cannot see the queue.
+	Queued int
 	// P50 and P99 are latency quantiles over served requests, measured
 	// from admission to answer. They are exact (nearest-rank) over a
 	// sliding window of the last LatencyWindow served requests, so a
@@ -99,8 +105,9 @@ func (c *Collector) Reject() {
 	c.mu.Unlock()
 }
 
-// Cancel records one admitted request dropped at flush time because its
-// context was done.
+// Cancel records one admitted request dropped before execution: at
+// flush time because its context was done, or unqueued by a
+// PredictBatch whose later admissions failed.
 func (c *Collector) Cancel() {
 	c.mu.Lock()
 	c.cancelled++

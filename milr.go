@@ -39,12 +39,18 @@
 //
 // Inference is batch-first: Model.ForwardBatch and Model.PredictBatch
 // stack a whole batch into one GEMM per conv/dense layer, bit-identical
-// to per-sample Forward calls.
+// to per-sample Forward calls. Recovery is batched the same way: one
+// golden-propagation sweep per checkpoint segment heals every flagged
+// layer in it, at most one pooled GEMM per conv/dense layer per
+// segment, bit-identical to healing layer by layer (see
+// ARCHITECTURE.md, "Recovery invariants").
 //
 // For serving, Runtime.NewServer (or NewGuardedServer, to serve while a
 // Guard self-heals the same model) starts a batch-coalescing front-end:
 // concurrent single-sample Predict calls queue up and execute as few
-// large GEMMs, still bit-identical to direct calls:
+// large GEMMs, still bit-identical to direct calls. WithQueueCap and
+// WithDefaultDeadline give the single server the fleet's admission
+// control (fast-fail ErrQueueFull, bounded waits):
 //
 //	srv, _ := rt.NewGuardedServer(prot)
 //	defer srv.Close()
@@ -288,12 +294,13 @@ func (rt *Runtime) BatchSize() int { return rt.batch }
 // MaxBatchDelay returns the serving coalescing window.
 func (rt *Runtime) MaxBatchDelay() time.Duration { return rt.maxDelay }
 
-// QueueCap returns the fleet's default per-model admission queue cap
-// (0 = unbounded). See WithQueueCap.
+// QueueCap returns the default admission queue cap applied to fleet
+// model queues and standalone Servers (0 = unbounded). See
+// WithQueueCap.
 func (rt *Runtime) QueueCap() int { return rt.queueCap }
 
-// DefaultDeadline returns the fleet's default per-request deadline
-// (0 = none). See WithDefaultDeadline.
+// DefaultDeadline returns the default per-request deadline applied by
+// fleets and standalone Servers (0 = none). See WithDefaultDeadline.
 func (rt *Runtime) DefaultDeadline() time.Duration { return rt.deadline }
 
 // Options returns the engine options this runtime protects models with.
@@ -352,15 +359,32 @@ func (rt *Runtime) Guard(ctx context.Context, pr *Protector, cfg GuardConfig) (*
 // concurrent Server.Predict calls queue up, coalesce into batches of up
 // to BatchSize (WithBatchSize) within a MaxBatchDelay window
 // (WithMaxBatchDelay), and run as one ForwardBatch GEMM per batch —
-// bit-identical to direct per-sample Predict calls. An explicit worker
-// policy (WithWorkers) is applied to the model's GEMM pools, as in
-// Protect. Call Server.Close to shut the server down; use
-// NewGuardedServer instead when a Guard scrubs the same model.
+// bit-identical to direct per-sample Predict calls. Admission control
+// matches the fleet's: WithQueueCap bounds the queue (at cap, Predict
+// fast-fails with ErrQueueFull) and WithDefaultDeadline bounds requests
+// whose context has no deadline of its own. An explicit worker policy
+// (WithWorkers) is applied to the model's GEMM pools, as in Protect.
+// Call Server.Close to shut the server down; use NewGuardedServer
+// instead when a Guard scrubs the same model.
 func (rt *Runtime) NewServer(m *Model) (*Server, error) {
 	if rt.workersSet {
 		m.SetWorkers(rt.opts.Workers)
 	}
-	return serve.New(m, serve.Config{BatchSize: rt.batch, MaxDelay: rt.maxDelay})
+	return serve.New(m, rt.serveConfig(nil))
+}
+
+// serveConfig translates the runtime's serving policy into a
+// serve.Config — the single place Server admission control (queue cap,
+// default deadline) is wired, so NewServer and NewGuardedServer cannot
+// drift apart.
+func (rt *Runtime) serveConfig(gate func(func())) serve.Config {
+	return serve.Config{
+		BatchSize: rt.batch,
+		MaxDelay:  rt.maxDelay,
+		QueueCap:  rt.queueCap,
+		Deadline:  rt.deadline,
+		Gate:      gate,
+	}
 }
 
 // NewGuardedServer is NewServer over a protected model: every batch
@@ -376,7 +400,7 @@ func (rt *Runtime) NewGuardedServer(pr *Protector) (*Server, error) {
 	if rt.workersSet {
 		m.SetWorkers(rt.opts.Workers)
 	}
-	return serve.New(m, serve.Config{BatchSize: rt.batch, MaxDelay: rt.maxDelay, Gate: pr.Sync})
+	return serve.New(m, rt.serveConfig(pr.Sync))
 }
 
 // NewGuard starts a background scrub loop over a protected model; call

@@ -2,6 +2,7 @@ package milr_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -89,6 +90,129 @@ func TestServerCoalescedEquivalence(t *testing.T) {
 			t.Logf("workers=%d: %d batches for %d requests, mean fill %.2f, fill histogram %v, p50 %v p99 %v",
 				workers, st.Batches, st.Served, st.MeanBatchFill, st.BatchFill, st.P50, st.P99)
 		})
+	}
+}
+
+// TestServerQueueCapOverload pins single-Server admission control at
+// parity with the fleet's: with the engine lock held (a self-heal in
+// progress), the queue fills to WithQueueCap and further open-loop
+// requests fast-fail with ErrQueueFull (counted in Stats.Rejected),
+// a request relying on WithDefaultDeadline expires instead of waiting
+// unboundedly, and Close still drains everything admitted.
+func TestServerQueueCapOverload(t *testing.T) {
+	ctx := context.Background()
+	model, err := milr.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.InitWeights(7)
+	stream := prng.New(13)
+	xs := make([]*milr.Tensor, 8)
+	for i := range xs {
+		xs[i] = stream.Tensor(12, 12, 1)
+	}
+	rt := milr.NewRuntime(
+		milr.WithSeed(7),
+		milr.WithBatchSize(1),
+		milr.WithMaxBatchDelay(0),
+		milr.WithQueueCap(2),
+		milr.WithDefaultDeadline(30*time.Millisecond),
+	)
+	prot, err := rt.Protect(ctx, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rt.NewGuardedServer(prot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the engine lock: batches park at the Sync gate exactly as
+	// during a long self-heal.
+	lockHeld := make(chan struct{})
+	releaseLock := make(chan struct{})
+	go prot.Sync(func() {
+		close(lockHeld)
+		<-releaseLock
+	})
+	<-lockHeld
+
+	// Request 0 first, alone, with its own long deadline: once it is
+	// admitted and its queue slot drained (Queued back to 0), it is
+	// parked in the executor at the Sync gate and the cap applies
+	// cleanly to the next arrivals.
+	var wg sync.WaitGroup
+	admitted := make([]error, 2) // 1 in the parked batch + 1 queued
+	predict := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			_, admitted[i] = srv.Predict(reqCtx, xs[i])
+		}()
+	}
+	predict(0)
+	waitServer(t, srv, func(s milr.ServerStats) bool {
+		return s.Admitted >= 1 && s.Queued == 0
+	})
+
+	// A caller without its own deadline inherits WithDefaultDeadline:
+	// it is admitted (the queue is below cap) but expires instead of
+	// waiting out the self-heal pause. Its dead entry keeps the queue
+	// slot until flush time, exactly like a caller-cancelled request.
+	start := time.Now()
+	if _, err := srv.Predict(ctx, xs[7]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-less request during pause: %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("deadline-less request waited %v — default deadline not applied", waited)
+	}
+
+	// Fill the remaining queue slot; the cap now applies to new
+	// arrivals.
+	predict(1)
+	waitServer(t, srv, func(s milr.ServerStats) bool { return s.Queued == 2 })
+
+	// Queue at cap: open-loop overload is shed in O(1).
+	for i := 3; i < 6; i++ {
+		if _, err := srv.Predict(ctx, xs[i]); !errors.Is(err, milr.ErrQueueFull) {
+			t.Fatalf("overload request %d: %v, want ErrQueueFull", i, err)
+		}
+	}
+
+	// Release the engine lock; drain-on-close must serve both admitted
+	// requests — and drop the expired one — without deadlocking.
+	close(releaseLock)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range admitted {
+		if err != nil {
+			t.Fatalf("admitted request %d not drained: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.Rejected != 3 {
+		t.Fatalf("rejected = %d, want 3 (stats %+v)", st.Rejected, st)
+	}
+	if st.Served != 2 || st.Cancelled != 1 {
+		t.Fatalf("served/cancelled = %d/%d, want 2/1", st.Served, st.Cancelled)
+	}
+	if _, err := srv.Predict(ctx, xs[0]); !errors.Is(err, milr.ErrServerClosed) {
+		t.Fatalf("admission after Close: %v, want ErrServerClosed", err)
+	}
+}
+
+func waitServer(t *testing.T, srv *milr.Server, ok func(milr.ServerStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok(srv.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting on server stats (stats %+v)", srv.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 
