@@ -45,6 +45,12 @@ go test . -bench 'BenchmarkRBERSweepWorkers' -benchtime "$BENCHTIME" -run XXX
 echo "== detection scrub (Table X identification path) =="
 go test . -bench 'BenchmarkTable10_Identification' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
 
+# The HTTP gateway (cmd/milr-gateway, internal/gateway) is deliberately
+# absent from these sweeps: it adds only JSON/transport overhead on top
+# of the fleet path benchmarked above, and kernel numbers must not be
+# diluted by network-stack noise. Its behaviour is pinned by tests and
+# the CI gateway smoke job instead.
+
 echo "== variance check: the architecture bench twice, same -cpu =="
 go test . -bench 'BenchmarkTables1to3_Architectures' -cpu 1 -benchtime "$BENCHTIME" -run XXX -count 2
 echo "If the two runs above differ wildly, do NOT trust this session's numbers."

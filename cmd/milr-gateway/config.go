@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"milr"
+)
+
+// config is the parsed flag set of one gateway process.
+type config struct {
+	addr        string
+	models      string
+	seed        uint64
+	batch       int
+	delay       time.Duration
+	workers     int
+	queueCap    int
+	deadline    time.Duration
+	maxDeadline time.Duration
+	guard       time.Duration
+	drain       time.Duration
+}
+
+// parseFlags parses args into a config without touching global flag
+// state, so tests drive it directly.
+func parseFlags(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("milr-gateway", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	fs.StringVar(&cfg.models, "models", "tiny", "comma-separated networks to serve: tiny, mnist, cifar-small, cifar-large (repeats allowed)")
+	fs.Uint64Var(&cfg.seed, "seed", 42, "master seed for model weights")
+	fs.IntVar(&cfg.batch, "batch", 8, "coalescing batch size per model")
+	fs.DurationVar(&cfg.delay, "delay", milr.DefaultMaxBatchDelay, "coalescing window (0 = flush immediately)")
+	fs.IntVar(&cfg.workers, "workers", -1, "shared batch budget and GEMM pools (0 = serial, -1 = all cores)")
+	fs.IntVar(&cfg.queueCap, "cap", 64, "per-model admission queue cap (0 = unbounded)")
+	fs.DurationVar(&cfg.deadline, "deadline", 2*time.Second, "default per-request deadline applied when the client sends none (0 = none)")
+	fs.DurationVar(&cfg.maxDeadline, "max-deadline", 30*time.Second, "upper clamp on client-requested deadlines (0 = unclamped)")
+	fs.DurationVar(&cfg.guard, "guard", 0, "protect every model with MILR and round-robin self-heal on this interval (0 = no guard)")
+	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// buildFleet constructs the runtime and fleet the gateway fronts:
+// every -models entry initialized from its own derived seed, protected
+// and guard-scheduled when -guard is set. Duplicate network names get
+// -1/-2/... suffixes, as in milr-fleet.
+func buildFleet(ctx context.Context, cfg *config) (*milr.Fleet, error) {
+	builders := map[string]func() (*milr.Model, error){
+		"tiny":        milr.NewTinyNet,
+		"mnist":       milr.NewMNISTNet,
+		"cifar-small": milr.NewCIFARSmallNet,
+		"cifar-large": milr.NewCIFARLargeNet,
+	}
+	rt := milr.NewRuntime(
+		milr.WithSeed(cfg.seed),
+		milr.WithWorkers(cfg.workers),
+		milr.WithBatchSize(cfg.batch),
+		milr.WithMaxBatchDelay(cfg.delay),
+		milr.WithQueueCap(cfg.queueCap),
+		milr.WithDefaultDeadline(cfg.deadline),
+	)
+	fl := milr.NewFleet(rt)
+	names := strings.Split(cfg.models, ",")
+	seen := map[string]int{}
+	for i, net := range names {
+		net = strings.TrimSpace(net)
+		build, ok := builders[net]
+		if !ok {
+			fl.Close()
+			return nil, fmt.Errorf("unknown network %q (tiny, mnist, cifar-small, cifar-large)", net)
+		}
+		m, err := build()
+		if err != nil {
+			fl.Close()
+			return nil, err
+		}
+		m.InitWeights(cfg.seed + uint64(i))
+		name := net
+		if strings.Count(cfg.models, net) > 1 {
+			seen[net]++
+			name = fmt.Sprintf("%s-%d", net, seen[net])
+		}
+		if cfg.guard > 0 {
+			pr, err := rt.Protect(ctx, m)
+			if err != nil {
+				fl.Close()
+				return nil, fmt.Errorf("protect %s: %w", name, err)
+			}
+			err = fl.RegisterProtected(name, pr)
+			if err != nil {
+				fl.Close()
+				return nil, err
+			}
+			continue
+		}
+		if err := fl.Register(name, m); err != nil {
+			fl.Close()
+			return nil, err
+		}
+	}
+	if cfg.guard > 0 {
+		if err := fl.StartGuard(ctx, cfg.guard); err != nil {
+			fl.Close()
+			return nil, err
+		}
+	}
+	return fl, nil
+}

@@ -1,0 +1,115 @@
+// Command milr-gateway is the network front-end for MILR-protected
+// inference: an HTTP/JSON daemon over one milr.Fleet. Each -models
+// entry becomes a named model behind per-model coalescing queues and a
+// shared batch budget; with -guard every model is MILR-protected and
+// round-robin self-healed while serving.
+//
+// Routes:
+//
+//	POST /v1/models/{name}/predict   {"input":[...]} or {"inputs":[[...],...]}
+//	GET  /v1/models                  registered models, shapes and caps
+//	GET  /metrics                    Prometheus text exposition format
+//	GET  /healthz                    200 ok, or 503 while draining
+//
+// Clients bound a request with the X-Milr-Deadline header (or
+// ?deadline=), a Go duration mapped onto the request context;
+// -deadline backstops requests that send none. Admission rejections
+// come back as 429 with a Retry-After hint (shed load, retry later).
+//
+// Usage:
+//
+//	milr-gateway                                  # tiny net on 127.0.0.1:8080
+//	milr-gateway -models mnist,tiny -cap 128 -workers -1
+//	milr-gateway -guard 5ms                       # protected + self-healing fleet
+//
+// On SIGINT/SIGTERM the daemon flips /healthz to 503, stops accepting
+// connections, finishes every in-flight request (the fleet serves all
+// admitted work — drain-on-close), then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"milr/internal/gateway"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "milr-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body: build the fleet, serve until ctx is
+// cancelled (the signal path), then drain and exit. When ready is
+// non-nil the bound listen address is sent on it once the server
+// accepts connections — the hook the shutdown test (and anything else
+// embedding the daemon) uses with port 0.
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	fl, err := buildFleet(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	// Close is idempotent: this backstops the early-error returns, and
+	// the shutdown path's explicit Close runs the one real drain.
+	defer fl.Close()
+
+	gw := gateway.New(fl, gateway.Config{MaxDeadline: cfg.maxDeadline})
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: gw}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("milr-gateway: serving %s on http://%s", cfg.models, ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		// The listener died under us; nothing is admitted anymore, so
+		// the deferred Close's drain is immediate.
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Shutdown ordering: advertise draining first (load balancers stop
+	// sending), then stop accepting and wait for in-flight handlers —
+	// their Predicts ride the fleet's drain — and only then close the
+	// fleet and exit.
+	log.Printf("milr-gateway: signal received, draining (budget %v)", cfg.drain)
+	gw.SetDraining(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Drain budget exceeded: report it, but still drain the fleet's
+		// admitted work below so nothing is silently dropped.
+		log.Printf("milr-gateway: shutdown: %v", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("milr-gateway: serve: %v", err)
+	}
+	start := time.Now()
+	if err := fl.Close(); err != nil {
+		return fmt.Errorf("fleet close: %w", err)
+	}
+	log.Printf("milr-gateway: drained in %v, bye", time.Since(start).Round(time.Millisecond))
+	return nil
+}

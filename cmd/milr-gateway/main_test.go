@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGracefulShutdownDrains is the daemon-level shutdown contract:
+// requests admitted before the signal are answered 200 — never dropped
+// — and run returns nil. It drives the real run() on port 0, parks a
+// wave of requests in a wide coalescing window, cancels the signal
+// context mid-wait, and demands every parked request still succeed.
+func TestGracefulShutdownDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-models", "tiny",
+			"-batch", "64",
+			"-delay", "300ms",
+			"-workers", "2",
+			"-deadline", "0",
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	// TinyNet input is 12×12×1 = 144 floats.
+	sample := make([]float64, 144)
+	for i := range sample {
+		sample[i] = float64(i%7) / 7
+	}
+	body, err := json.Marshal(map[string]any{"input": sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const parked = 8
+	var wg sync.WaitGroup
+	codes := make([]int, parked)
+	bodies := make([]string, parked)
+	for i := 0; i < parked; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(
+				fmt.Sprintf("http://%s/v1/models/tiny/predict", addr),
+				"application/json", strings.NewReader(string(body)))
+			if err != nil {
+				t.Errorf("parked request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			codes[i], bodies[i] = resp.StatusCode, string(raw)
+		}()
+	}
+
+	// Wait until all requests are admitted (the batch of 64 with a
+	// 300ms window parks them), reading the daemon's own /metrics.
+	waitForMetric(t, addr, `milr_model_admitted_total{model="tiny"} 8`)
+
+	// SIGTERM equivalent: cancel the signal context mid-window.
+	cancel()
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("parked request %d answered %d (%s), want 200 — admitted work was dropped on shutdown",
+				i, code, bodies[i])
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("run returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after drain")
+	}
+}
+
+func waitForMetric(t *testing.T, addr, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(raw), want) {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for metric %q", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParseFlagsRejectsPositionalArgs pins the flag contract: stray
+// arguments are an error, not silently ignored.
+func TestParseFlagsRejectsPositionalArgs(t *testing.T) {
+	if _, err := parseFlags([]string{"serve"}); err == nil {
+		t.Error("positional argument accepted, want error")
+	}
+	if _, err := parseFlags([]string{"-batch", "4"}); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+// TestBuildFleetUnknownModel pins the -models validation path.
+func TestBuildFleetUnknownModel(t *testing.T) {
+	cfg, err := parseFlags([]string{"-models", "resnet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildFleet(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), "unknown network") {
+		t.Errorf("buildFleet(resnet) err = %v, want unknown network", err)
+	}
+}

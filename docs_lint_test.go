@@ -22,9 +22,10 @@ import (
 // declaration (and every exported method on an exported receiver) must
 // have a doc comment, not just the package itself.
 var fullyDocumented = map[string]bool{
-	".":              true,
-	"internal/serve": true,
-	"internal/fleet": true,
+	".":                true,
+	"internal/serve":   true,
+	"internal/fleet":   true,
+	"internal/gateway": true,
 }
 
 // requiredExamples lists the runnable godoc examples the façade must

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"milr/internal/fleet"
+	"milr/internal/serve"
 )
 
 // This file is the multi-model serving surface: one milr.Fleet routes
@@ -24,6 +25,25 @@ var ErrQueueFull = fleet.ErrQueueFull
 // ErrFleetClosed is returned by Fleet methods once Fleet.Close has
 // been called; requests admitted before the close are still served.
 var ErrFleetClosed = fleet.ErrClosed
+
+// ErrUnknownModel is returned by Fleet.Predict / Fleet.PredictBatch
+// when the named model has never been registered. A routing layer (the
+// gateway maps it to 404) matches it with errors.Is instead of string
+// matching.
+var ErrUnknownModel = fleet.ErrUnknownModel
+
+// QueueFullError is the concrete error behind every ErrQueueFull
+// rejection, on both serving surfaces: errors.Is(err, ErrQueueFull)
+// still matches, and errors.As additionally recovers which surface
+// ("serve" or "fleet"), which fleet model (empty for a standalone
+// Server), and what cap refused the request — the detail the gateway
+// puts in its 429 bodies.
+type QueueFullError = serve.QueueFullError
+
+// ModelInfo describes one registered fleet model: routing name, the
+// input shape every sample must match, and its resolved fair-share and
+// admission configuration. See Fleet.Models.
+type ModelInfo = fleet.ModelInfo
 
 // FleetStats is a Fleet.Stats snapshot: one ModelStats per registered
 // model plus fleet-wide admission/rejection aggregates.
@@ -160,6 +180,14 @@ func (fl *Fleet) StartGuard(ctx context.Context, interval time.Duration) error {
 // fleet-level aggregates. See FleetStats and ModelStats.
 func (fl *Fleet) Stats() FleetStats {
 	return fl.f.Stats()
+}
+
+// Models returns the registered models in registration order: name,
+// input shape, fair-share weight, resolved queue cap, and whether the
+// fleet guard self-heals the model. The gateway uses it to validate
+// request payload shapes and to answer its model-index route.
+func (fl *Fleet) Models() []ModelInfo {
+	return fl.f.Models()
 }
 
 // Close stops admission fleet-wide, serves every request admitted

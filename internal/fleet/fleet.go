@@ -18,14 +18,23 @@ import (
 // registered with blocking backpressure. Callers should treat it as
 // load shedding: the request was refused in O(1) without occupying a
 // queue slot, and retrying later (or against another model) is safe.
-// It is the same sentinel a capped standalone serve.Server returns, so
-// one errors.Is check covers both serving surfaces.
+// It is the same sentinel a capped standalone serve.Server returns, and
+// both surfaces wrap it in the same *serve.QueueFullError, so one
+// errors.Is check covers both serving surfaces and errors.As recovers
+// which model's queue refused the request at what cap.
 var ErrQueueFull = serve.ErrQueueFull
 
 // ErrClosed is returned by Predict, PredictBatch and Register once
 // Close has been called. Requests admitted before the close are still
 // served (drain-on-close).
 var ErrClosed = errors.New("fleet: fleet closed")
+
+// ErrUnknownModel is returned by Predict and PredictBatch when the
+// named model has never been registered. Every such rejection wraps
+// this sentinel (with the offending name and the registered set in the
+// message), so a routing layer can errors.Is it into a 404 instead of
+// string-matching.
+var ErrUnknownModel = errors.New("fleet: unknown model")
 
 // Config configures New. The zero value is usable: one shared batch
 // slot, batch size 1, no coalescing window, unbounded queues, no
@@ -137,6 +146,14 @@ type Fleet struct {
 	done      chan struct{} // dispatcher exited
 	closedCh  chan struct{} // closed by Close; stops the guard loop
 	guardDone chan struct{}
+
+	// closeOnce makes Close idempotent: the shutdown sequence runs
+	// exactly once, later and concurrent calls block until it has
+	// finished and return the first call's result. A daemon's
+	// signal-handler Close racing its deferred Close must not run the
+	// drain twice.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New builds an empty Fleet and starts its dispatcher goroutine.
@@ -295,7 +312,7 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 			names = append(names, o.name)
 		}
 		f.mu.Unlock()
-		return nil, fmt.Errorf("fleet: unknown model %q (registered: %v)", model, names)
+		return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknownModel, model, names)
 	}
 	if !x.Shape().Equal(b.inShape) {
 		f.mu.Unlock()
@@ -316,7 +333,7 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 		if !b.block {
 			b.stats.Reject()
 			f.mu.Unlock()
-			return nil, fmt.Errorf("fleet: model %q: %w", model, ErrQueueFull)
+			return nil, &serve.QueueFullError{Surface: "fleet", Model: model, Cap: b.cap}
 		}
 		// Blocking backpressure: wait outside the lock for slots to
 		// free (the dispatcher broadcasts by closing b.space whenever
@@ -600,14 +617,16 @@ func (f *Fleet) guardLoop(ctx context.Context, interval time.Duration) {
 // Close stops admission fleet-wide, serves every request admitted
 // before the call on every model (drain-on-close), stops the guard
 // loop, and returns once the dispatcher and all in-flight batch
-// executors have exited. Safe to call more than once; later calls just
-// wait for the shutdown to finish.
+// executors have exited. It is idempotent and safe to call
+// concurrently — with itself and with in-flight Predict/PredictBatch
+// calls: the shutdown sequence runs once, and every later or
+// concurrent call waits for it to finish and returns the first call's
+// result.
 func (f *Fleet) Close() error {
-	f.mu.Lock()
-	already := f.closed
-	f.closed = true
-	guardDone := f.guardDone
-	if !already {
+	f.closeOnce.Do(func() {
+		f.mu.Lock()
+		f.closed = true
+		guardDone := f.guardDone
 		close(f.closedCh)
 		// Wake every backpressure-blocked enqueuer: it re-checks and
 		// fails with ErrClosed instead of waiting on a dead queue.
@@ -615,13 +634,14 @@ func (f *Fleet) Close() error {
 			close(b.space)
 			b.space = make(chan struct{})
 		}
-	}
-	f.mu.Unlock()
-	f.wake()
-	<-f.done
-	f.pool.Wait()
-	if guardDone != nil {
-		<-guardDone
-	}
-	return nil
+		f.mu.Unlock()
+		f.wake()
+		<-f.done
+		f.pool.Wait()
+		if guardDone != nil {
+			<-guardDone
+		}
+		f.closeErr = nil
+	})
+	return f.closeErr
 }

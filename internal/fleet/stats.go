@@ -1,6 +1,49 @@
 package fleet
 
-import "milr/internal/serve"
+import (
+	"milr/internal/serve"
+	"milr/internal/tensor"
+)
+
+// ModelInfo describes one registered model: its routing name, the
+// input shape every Predict sample must match, and its resolved
+// admission/fair-share configuration. The gateway uses it to validate
+// request payloads and to answer the model-index route without
+// touching the serving path.
+type ModelInfo struct {
+	// Name is the model's routing key (the Register name).
+	Name string
+	// InShape is the model's input tensor shape; every sample routed
+	// to the model must match it exactly.
+	InShape tensor.Shape
+	// Weight is the model's fair-share weight in the batch arbiter.
+	Weight float64
+	// QueueCap is the model's resolved admission queue cap (0 =
+	// unbounded).
+	QueueCap int
+	// Guarded reports whether the model registered a Scrub hook, i.e.
+	// whether the fleet guard self-heals it.
+	Guarded bool
+}
+
+// Models returns the registered models in registration order. The
+// slice is a snapshot: models registered after the call are not
+// reflected in it.
+func (f *Fleet) Models() []ModelInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ModelInfo, len(f.order))
+	for i, b := range f.order {
+		out[i] = ModelInfo{
+			Name:     b.name,
+			InShape:  b.inShape.Clone(),
+			Weight:   b.weight,
+			QueueCap: b.cap,
+			Guarded:  b.scrub != nil,
+		}
+	}
+	return out
+}
 
 // ModelStats is one registered model's view of Fleet.Stats: the same
 // counters, batch-fill histogram, queue depth and bounded-window

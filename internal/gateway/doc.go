@@ -1,0 +1,31 @@
+// Package gateway is the HTTP/JSON serving layer over the fleet
+// router: per-model predict routes (single and batch), a model index,
+// a Prometheus text /metrics endpoint, and a /healthz probe that flips
+// to 503 while the daemon drains.
+//
+// The package is deliberately thin and transport-only. It talks to the
+// fleet through the Backend interface — four methods *milr.Fleet
+// already has — so handlers are unit-testable against a fake without
+// binding a port, and no serving policy lives here: coalescing,
+// admission control, fair-share arbitration and default deadlines stay
+// in the fleet. The gateway's whole job is translation:
+//
+//   - JSON payloads to tensors (with shape validation at the door, via
+//     Backend.Models, so a malformed request is a 400 before it ever
+//     touches a queue);
+//   - client deadline requests (X-Milr-Deadline header or ?deadline=
+//     query) to context deadlines, which the fleet's own
+//     WithDefaultDeadline backstops when the client sends none;
+//   - fleet errors to status codes: ErrQueueFull to 429 with a
+//     Retry-After hint and the refusing model's cap in the body
+//     (via errors.As on *serve.QueueFullError), ErrUnknownModel to
+//     404, ErrClosed to 503, context.DeadlineExceeded to 504, and
+//     client-abandoned requests to 499;
+//   - fleet.Stats snapshots to Prometheus text exposition format
+//     (WriteMetrics), honouring the zero-traffic contract: latency
+//     quantile series are omitted, not zeroed, until a model has
+//     served its first request.
+//
+// cmd/milr-gateway wires a Gateway to a real fleet, an HTTP listener
+// and signal-driven graceful shutdown.
+package gateway

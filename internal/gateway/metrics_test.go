@@ -1,0 +1,123 @@
+package gateway_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"milr/internal/fleet"
+	"milr/internal/gateway"
+	"milr/internal/serve"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the metrics golden file")
+
+// goldenStats is a hand-built snapshot exercising every encoder path:
+// one warm model with traffic (latency summary present), one idle
+// model honouring the zero-traffic contract (all-zero counters, no
+// latency series, MeanBatchFill exactly 0), and a model name needing
+// label escaping.
+func goldenStats() fleet.Stats {
+	warm := fleet.ModelStats{
+		Stats: serve.Stats{
+			Admitted:      10,
+			Rejected:      2,
+			Served:        7,
+			Cancelled:     1,
+			Failed:        0,
+			Batches:       3,
+			BatchFill:     []int64{1, 0, 2, 0},
+			MeanBatchFill: 7.0 / 3.0,
+			QueueDepth:    2,
+			Queued:        1,
+			P50:           1500 * time.Microsecond,
+			P99:           40 * time.Millisecond,
+		},
+		Weight:        3,
+		QueueCap:      8,
+		Scrubs:        5,
+		ScrubFailures: 1,
+	}
+	idle := fleet.ModelStats{
+		Stats:    serve.Stats{BatchFill: []int64{0, 0, 0, 0}},
+		Weight:   1,
+		QueueCap: 0,
+	}
+	quoted := fleet.ModelStats{
+		Stats:    serve.Stats{BatchFill: []int64{0, 0, 0, 0}},
+		Weight:   1,
+		QueueCap: 4,
+	}
+	return fleet.Stats{
+		Models: map[string]fleet.ModelStats{
+			"warm":       warm,
+			"idle":       idle,
+			"od\"d\\one": quoted,
+		},
+		Admitted: 10,
+		Rejected: 2,
+		Served:   7,
+	}
+}
+
+// TestWriteMetricsGolden pins the full exposition output byte for
+// byte. Regenerate deliberately with `go test ./internal/gateway
+// -run Golden -update` and review the diff like any API change.
+func TestWriteMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gateway.WriteMetrics(&buf, goldenStats()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteMetricsDeterministic re-encodes the same snapshot and
+// demands byte equality — map iteration order must never leak into
+// scrape output.
+func TestWriteMetricsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := gateway.WriteMetrics(&a, goldenStats()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gateway.WriteMetrics(&b, goldenStats()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of one snapshot differ")
+	}
+}
+
+// TestWriteMetricsZeroTraffic is the scraper's view of the
+// zero-traffic bugfix: an idle snapshot encodes finite zeros and omits
+// the latency summary rather than reporting "zero latency".
+func TestWriteMetricsZeroTraffic(t *testing.T) {
+	var buf bytes.Buffer
+	st := fleet.Stats{Models: map[string]fleet.ModelStats{
+		"idle": {Stats: serve.Stats{BatchFill: []int64{0, 0}}, Weight: 1},
+	}}
+	if err := gateway.WriteMetrics(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte(`milr_model_mean_batch_fill{model="idle"} 0`)) {
+		t.Errorf("idle mean batch fill not encoded as 0:\n%s", out)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`milr_model_latency_seconds{model="idle"`)) {
+		t.Errorf("idle model emitted latency quantiles (zero-traffic contract violated):\n%s", out)
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import "fmt"
+
+// QueueFullError is the concrete error every admission rejection wraps
+// around the ErrQueueFull sentinel, on both serving surfaces: a capped
+// standalone Server sets Surface to "serve", the fleet router sets
+// Surface to "fleet" and names the model whose queue was at cap. Before
+// this type existed the two surfaces wrapped the sentinel with ad-hoc
+// fmt.Errorf formats, so a caller could errors.Is the rejection but not
+// recover which queue refused it or at what cap — exactly what an HTTP
+// gateway needs to build a useful 429 response. Match it with
+// errors.As; errors.Is(err, ErrQueueFull) keeps working through Unwrap.
+type QueueFullError struct {
+	// Surface names the serving surface that refused admission:
+	// "serve" for a standalone Server, "fleet" for the fleet router.
+	Surface string
+	// Model is the fleet model whose queue was at cap; empty on a
+	// standalone Server, which serves exactly one model.
+	Model string
+	// Cap is the configured queue cap the rejection enforced.
+	Cap int
+}
+
+// Error renders the rejection with the same information on both
+// surfaces: the surface, the model when there is one, and the cap.
+func (e *QueueFullError) Error() string {
+	if e.Model != "" {
+		return fmt.Sprintf("%s: model %q: %v (cap %d)", e.Surface, e.Model, ErrQueueFull, e.Cap)
+	}
+	return fmt.Sprintf("%s: %v (cap %d)", e.Surface, ErrQueueFull, e.Cap)
+}
+
+// Unwrap exposes the shared ErrQueueFull sentinel, so one
+// errors.Is(err, ErrQueueFull) check covers both serving surfaces.
+func (e *QueueFullError) Unwrap() error { return ErrQueueFull }

@@ -18,9 +18,10 @@ var ErrClosed = errors.New("serve: server closed")
 // ErrQueueFull is returned by Predict and PredictBatch when the
 // admission queue is at its configured cap (Config.QueueCap). The
 // request was refused in O(1) without occupying a queue slot — shed
-// load or retry later. The fleet router shares this sentinel (wrapped
-// with the model name), so one errors.Is check covers both serving
-// surfaces.
+// load or retry later. Every rejection wraps the sentinel in a
+// *QueueFullError carrying the surface, model and cap, and the fleet
+// router shares both, so one errors.Is check covers both serving
+// surfaces and errors.As recovers the details.
 var ErrQueueFull = errors.New("admission queue full")
 
 // Config configures New.
@@ -75,6 +76,14 @@ type Server struct {
 	// whole queue on every wake-up.
 	notify chan struct{}
 	done   chan struct{}
+
+	// closeOnce makes Close idempotent: the shutdown sequence runs
+	// exactly once, later and concurrent calls block until it has
+	// finished and return the first call's result. A daemon's
+	// signal-handler Close racing its deferred Close must not run the
+	// drain twice.
+	closeOnce sync.Once
+	closeErr  error
 
 	stats *Collector
 }
@@ -178,16 +187,22 @@ func (s *Server) PredictBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, 
 	return out, nil
 }
 
-// Close stops admission, serves every request admitted before the call,
-// and returns once the dispatcher goroutine has exited. Safe to call
-// more than once; later calls just wait for the shutdown to finish.
+// Close stops admission, serves every request admitted before the call
+// (drain-on-close), and returns once the dispatcher goroutine has
+// exited. It is idempotent and safe to call concurrently — with each
+// other and with in-flight Predict/PredictBatch calls: the shutdown
+// sequence runs once, and every later or concurrent call waits for it
+// to finish and returns the first call's result.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.wake()
-	<-s.done
-	return nil
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.wake()
+		<-s.done
+		s.closeErr = nil
+	})
+	return s.closeErr
 }
 
 // Stats returns a snapshot of the server's counters, batch-fill
@@ -228,7 +243,7 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error
 		// reason as Admit below.
 		s.stats.Reject()
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: %w", ErrQueueFull)
+		return nil, &QueueFullError{Surface: "serve", Cap: s.queueCap}
 	}
 	s.pending = append(s.pending, r)
 	// Counted before the request becomes visible to the dispatcher, so

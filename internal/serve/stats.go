@@ -33,7 +33,10 @@ type Stats struct {
 	// size, so the last bucket counts full batches.
 	BatchFill []int64
 	// MeanBatchFill is the mean executed batch size — the direct
-	// measure of how much coalescing happened (1.0 = none).
+	// measure of how much coalescing happened (1.0 = none). Zero-
+	// traffic contract: until the first batch executes it is exactly 0,
+	// never NaN, so a metrics scraper polling an idle server always
+	// reads a finite number.
 	MeanBatchFill float64
 	// QueueDepth is the number of requests admitted but not yet
 	// answered at snapshot time (queued or in the in-flight batch).
@@ -49,7 +52,11 @@ type Stats struct {
 	// sliding window of the last LatencyWindow served requests, so a
 	// long-lived server's stats memory stays bounded while the
 	// quantiles still track current behaviour rather than lifetime
-	// history.
+	// history. Zero-traffic contract: until the first request has been
+	// served the window is empty and both quantiles are exactly 0 —
+	// "no data yet", not "zero latency"; consumers that must tell the
+	// two apart (the gateway's /metrics encoder does) should gate on
+	// Served > 0.
 	P50, P99 time.Duration
 }
 
@@ -180,9 +187,15 @@ func (c *Collector) Snapshot() Stats {
 	return st
 }
 
-// quantile returns the nearest-rank q-quantile of a sorted, non-empty
-// latency window.
+// quantile returns the nearest-rank q-quantile of a sorted latency
+// window. An empty window reports 0 (the zero-traffic contract on
+// Stats.P50/P99) rather than indexing sorted[-1]: the rank clamps used
+// to assume at least one entry, and Snapshot's len-guard was the only
+// thing between an idle scrape and a panic.
 func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
 	rank := int(q * float64(len(sorted)))
 	if float64(rank) < q*float64(len(sorted)) {
 		rank++ // ceil for non-integer ranks

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// Package-internal regression tests for the quantile helper. The
+// empty-window case is the zero-traffic bugfix: quantile used to clamp
+// its rank into [1, len] assuming a non-empty window, so an empty ring
+// indexed sorted[-1] and panicked — survivable only because Snapshot
+// happened to guard the call with a len check. The helper now owns its
+// own edge case, so every future caller (the gateway's metrics encoder
+// snapshots idle fleets constantly) inherits the contract.
+
+func TestQuantileEmptyWindowIsZero(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := quantile(nil, q); got != 0 {
+			t.Errorf("quantile(nil, %v) = %v, want 0", q, got)
+		}
+		if got := quantile([]time.Duration{}, q); got != 0 {
+			t.Errorf("quantile([], %v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileNearestRank pins the nearest-rank definition on small
+// windows, where an off-by-one is easiest to introduce: P50 of a
+// single sample is that sample, P99 of n samples is the ceil(0.99·n)-th
+// smallest.
+func TestQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{[]time.Duration{7}, 0.5, 7},
+		{[]time.Duration{7}, 0.99, 7},
+		{[]time.Duration{1, 2}, 0.5, 1},
+		{[]time.Duration{1, 2}, 0.99, 2},
+		{[]time.Duration{1, 2, 3, 4}, 0.5, 2},
+		{[]time.Duration{1, 2, 3, 4}, 0.99, 4},
+	}
+	for _, c := range cases {
+		if got := quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("quantile(%v, %v) = %v, want %v", c.sorted, c.q, got, c.want)
+		}
+	}
+}

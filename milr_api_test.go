@@ -59,6 +59,12 @@ var goldenAPI = []string{
 	"Fleet.Stats",
 	"FleetStats",
 	"ModelOption",
+	// Gateway support (PR 6): typed admission errors and the model
+	// index the HTTP gateway maps onto status codes and payloads.
+	"ErrUnknownModel",
+	"Fleet.Models",
+	"ModelInfo",
+	"QueueFullError",
 	"ModelStats",
 	"NewFleet",
 	"Runtime.DefaultDeadline",
