@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"strings"
@@ -9,6 +10,11 @@ import (
 
 	"milr"
 )
+
+// errUnknownNetwork is the typed cause under every -models validation
+// failure, so callers (and tests) match it with errors.Is instead of
+// scraping the message.
+var errUnknownNetwork = errors.New("unknown network")
 
 // config is the parsed flag set of one gateway process.
 type config struct {
@@ -77,7 +83,7 @@ func buildFleet(ctx context.Context, cfg *config) (*milr.Fleet, error) {
 		build, ok := builders[net]
 		if !ok {
 			fl.Close()
-			return nil, fmt.Errorf("unknown network %q (tiny, mnist, cifar-small, cifar-large)", net)
+			return nil, fmt.Errorf("%w %q (tiny, mnist, cifar-small, cifar-large)", errUnknownNetwork, net)
 		}
 		m, err := build()
 		if err != nil {

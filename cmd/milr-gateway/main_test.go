@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -132,7 +133,7 @@ func TestBuildFleetUnknownModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildFleet(context.Background(), cfg); err == nil || !strings.Contains(err.Error(), "unknown network") {
-		t.Errorf("buildFleet(resnet) err = %v, want unknown network", err)
+	if _, err := buildFleet(context.Background(), cfg); !errors.Is(err, errUnknownNetwork) {
+		t.Errorf("buildFleet(resnet) err = %v, want errUnknownNetwork", err)
 	}
 }

@@ -1,0 +1,114 @@
+// Command milr-lint runs the repository's invariant linters
+// (internal/lint) over the module tree and reports findings — the same
+// rules lint_invariants_test.go enforces in tier-1, packaged for CI
+// jobs and pre-commit hooks.
+//
+// Usage:
+//
+//	milr-lint [-rules nakedgo,errwrap] [-json] [-list] [dir | ./...]
+//
+// The positional argument names any directory inside the module
+// (default "."); the tool lints the whole enclosing module, so
+// `milr-lint ./...` from the repo root is the canonical CI invocation.
+// Exit status is 1 when findings exist (or an allowlist entry is dead),
+// 2 on usage errors, 0 on a clean tree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"milr/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("milr-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rulesFlag := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	jsonFlag := fs.Bool("json", false, "emit findings as a JSON array")
+	listFlag := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listFlag {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+	dir := "."
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "milr-lint: at most one directory argument")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		dir = fs.Arg(0)
+		// Accept the go-tool idiom: ./... means "this module".
+		dir = strings.TrimSuffix(dir, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" || dir == "." {
+			dir = "."
+		}
+	}
+
+	rules := lint.Rules()
+	if *rulesFlag != "" {
+		rules = rules[:0:0]
+		for _, name := range strings.Split(*rulesFlag, ",") {
+			name = strings.TrimSpace(name)
+			r, ok := lint.RuleByName(name)
+			if !ok {
+				fmt.Fprintf(stderr, "milr-lint: unknown rule %q (try -list)\n", name)
+				return 2
+			}
+			rules = append(rules, r)
+		}
+	}
+
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		// No go.mod above dir: lint the directory as a standalone
+		// tree (fixture modules in tests).
+		root = dir
+	}
+	tree, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "milr-lint: %v\n", err)
+		return 2
+	}
+	findings, unused := lint.RunDetailed(tree, rules)
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "milr-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	for _, e := range unused {
+		fmt.Fprintf(stderr, "milr-lint: allowlist entry {%s %s} matches nothing — delete it from internal/lint/allow.go\n", e.Rule, e.Path)
+	}
+	if len(findings) > 0 || len(unused) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(stderr, "milr-lint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

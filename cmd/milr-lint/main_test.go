@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"milr/internal/lint"
+)
+
+// testdata/badmod is a standalone fixture module (its own go.mod, so
+// FindModuleRoot resolves it instead of the enclosing repo) carrying
+// exactly one nakedgo and one errwrap violation in
+// internal/gateway/bad.go. The real tree's allowlist entries match
+// nothing there, so runs against it restrict -rules to keep dead-entry
+// noise on stderr and findings deterministic.
+
+// TestJSONOutputShape pins the -json contract: an array of objects
+// with exactly the fields rule/file/line/col/msg, decodable into
+// lint.Finding, sorted by position.
+func TestJSONOutputShape(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "nakedgo,errwrap", "-json", "testdata/badmod"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+
+	var shaped []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &shaped); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	for i, obj := range shaped {
+		for _, key := range []string{"rule", "file", "line", "col", "msg"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("finding %d: missing field %q", i, key)
+			}
+		}
+		if len(obj) != 5 {
+			t.Errorf("finding %d: has %d fields, want exactly 5 (the CLI output contract)", i, len(obj))
+		}
+	}
+
+	var findings []lint.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout does not decode into []lint.Finding: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), out.String())
+	}
+	if findings[0].Rule != "nakedgo" || findings[1].Rule != "errwrap" {
+		t.Errorf("rules = %s, %s; want nakedgo, errwrap (position order)", findings[0].Rule, findings[1].Rule)
+	}
+	for _, f := range findings {
+		if f.File != "internal/gateway/bad.go" {
+			t.Errorf("file = %q, want module-relative internal/gateway/bad.go", f.File)
+		}
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding has non-positive position: %+v", f)
+		}
+		if f.Msg == "" {
+			t.Errorf("finding has empty msg: %+v", f)
+		}
+	}
+}
+
+// TestJSONEmptyArray: a rule with nothing to say still emits a valid
+// (empty) JSON array and exits 0.
+func TestJSONEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "gemmbudget", "-json", "testdata/badmod"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("stdout = %q, want []", got)
+	}
+}
+
+// TestTextOutput pins the human-readable mode: file:line:col [rule]
+// lines on stdout, the count on stderr, exit 1.
+func TestTextOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "errwrap", "testdata/badmod"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "internal/gateway/bad.go:") || !strings.Contains(out.String(), "[errwrap]") {
+		t.Errorf("stdout missing file:line [rule] diagnostic:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 finding(s)") {
+		t.Errorf("stderr missing finding count:\n%s", errb.String())
+	}
+}
+
+func TestListRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, r := range lint.Rules() {
+		if !strings.Contains(out.String(), r.Name) {
+			t.Errorf("-list output missing rule %s", r.Name)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "no-such-rule", "testdata/badmod"}, &out, &errb); code != 2 {
+		t.Errorf("unknown rule: exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr missing unknown-rule message:\n%s", errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"dir1", "dir2"}, &out, &errb); code != 2 {
+		t.Errorf("two positional args: exit = %d, want 2", code)
+	}
+}

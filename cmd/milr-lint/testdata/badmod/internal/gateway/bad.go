@@ -1,0 +1,15 @@
+// Package gateway is a CLI fixture module carrying exactly two
+// invariant violations: a naked goroutine and a severed error chain.
+package gateway
+
+import "fmt"
+
+func start(work []func()) {
+	for _, w := range work {
+		go w()
+	}
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("start failed: %v", err)
+}

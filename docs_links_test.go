@@ -4,16 +4,21 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strings"
 	"testing"
 	"unicode"
+
+	"milr/internal/xmaps"
 )
 
 // Markdown link lint, enforced in CI alongside the godoc lints: every
 // relative link and every heading anchor in the top-level documents
 // must resolve, so doc rot (a renamed example directory, a dropped
 // section) fails the build instead of shipping a dead link.
+//
+// Document bodies come from the shared lint.LoadModule tree (which
+// reads every top-level .md once); only non-markdown link targets fall
+// back to a stat against the module root.
 
 // lintedDocs lists the documents the link checker walks. PAPER.md,
 // PAPERS.md and SNIPPETS.md are generated references and exempt.
@@ -22,12 +27,13 @@ var lintedDocs = []string{"README.md", "ARCHITECTURE.md", "BENCHMARKS.md", "ROAD
 var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
 
 func TestDocLinksResolve(t *testing.T) {
+	tree := loadTree(t)
 	anchors := map[string]map[string]bool{}
 	bodies := map[string][]string{}
 	for _, doc := range lintedDocs {
-		raw, err := os.ReadFile(doc)
-		if err != nil {
-			t.Fatalf("%s: %v", doc, err)
+		raw, ok := tree.Docs[doc]
+		if !ok {
+			t.Fatalf("%s: not in the loaded tree — lintedDocs names a document that does not exist", doc)
 		}
 		lines := stripFencedBlocks(string(raw))
 		bodies[doc] = lines
@@ -44,7 +50,7 @@ func TestDocLinksResolve(t *testing.T) {
 				path, anchor, _ := strings.Cut(target, "#")
 				file := doc
 				if path != "" {
-					if _, err := os.Stat(filepath.FromSlash(path)); err != nil {
+					if _, err := os.Stat(filepath.Join(tree.Root, filepath.FromSlash(path))); err != nil {
 						t.Errorf("%s:%d: link target %q does not exist", doc, ln+1, path)
 						continue
 					}
@@ -61,7 +67,7 @@ func TestDocLinksResolve(t *testing.T) {
 				}
 				if !known[anchor] {
 					t.Errorf("%s:%d: anchor %q not found in %s (known anchors: %v)",
-						doc, ln+1, target, file, sortedKeys(known))
+						doc, ln+1, target, file, xmaps.SortedKeys(known))
 				}
 			}
 		}
@@ -107,14 +113,5 @@ func headingAnchors(lines []string) map[string]bool {
 		}
 		out[b.String()] = true
 	}
-	return out
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
 	return out
 }

@@ -2,13 +2,11 @@ package milr_test
 
 import (
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"io/fs"
-	"path/filepath"
-	"sort"
 	"strings"
 	"testing"
+
+	"milr/internal/xmaps"
 )
 
 // Documentation lint, enforced in CI alongside go vet: every package in
@@ -17,6 +15,9 @@ import (
 // must document every exported symbol, so `go doc milr` reads as a
 // reference rather than a symbol dump. See ISSUE/ARCHITECTURE history:
 // package docs live in doc.go (or the command's main.go for cmd/*).
+//
+// The tree comes from lint.LoadModule, the same parse the invariant
+// lint (lint_invariants_test.go) and the link lint walk.
 
 // fullyDocumented lists the directories where every exported top-level
 // declaration (and every exported method on an exported receiver) must
@@ -43,18 +44,13 @@ var requiredExamples = []string{
 // documentation examples are part of its public surface, like the doc
 // comments TestDocCoverage checks.
 func TestFacadeExamplesPresent(t *testing.T) {
-	fset := token.NewFileSet()
-	matches, err := filepath.Glob("*_test.go")
-	if err != nil {
-		t.Fatal(err)
-	}
+	tree := loadTree(t)
 	found := map[string]bool{}
-	for _, path := range matches {
-		file, err := parser.ParseFile(fset, path, nil, 0)
-		if err != nil {
-			t.Fatal(err)
+	for _, f := range tree.Files {
+		if f.Dir != "." || !f.Test {
+			continue
 		}
-		for _, decl := range file.Decls {
+		for _, decl := range f.Ast.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && strings.HasPrefix(fn.Name.Name, "Example") {
 				found[fn.Name.Name] = true
 			}
@@ -68,58 +64,27 @@ func TestFacadeExamplesPresent(t *testing.T) {
 }
 
 func TestDocCoverage(t *testing.T) {
-	pkgs := map[string][]*ast.File{}
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if strings.HasPrefix(d.Name(), ".") && path != "." {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return err
-		}
-		dir := filepath.Dir(path)
-		pkgs[dir] = append(pkgs[dir], file)
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	var dirs []string
-	for dir := range pkgs {
-		dirs = append(dirs, dir)
-	}
-	sort.Strings(dirs)
-
-	for _, dir := range dirs {
+	tree := loadTree(t)
+	pkgs := tree.PackageFiles()
+	for _, dir := range xmaps.SortedKeys(pkgs) {
 		files := pkgs[dir]
 		hasPkgDoc := false
 		for _, f := range files {
-			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			if f.Ast.Doc != nil && strings.TrimSpace(f.Ast.Doc.Text()) != "" {
 				hasPkgDoc = true
 				break
 			}
 		}
 		if !hasPkgDoc {
 			t.Errorf("%s: package %s has no package-level doc comment (add a doc.go, or document the command in main.go)",
-				dir, files[0].Name.Name)
+				dir, files[0].Ast.Name.Name)
 		}
 		if !fullyDocumented[dir] {
 			continue
 		}
 		for _, f := range files {
-			for _, decl := range f.Decls {
-				checkDeclDocs(t, fset, decl)
+			for _, decl := range f.Ast.Decls {
+				checkDeclDocs(t, tree.Fset, decl)
 			}
 		}
 	}

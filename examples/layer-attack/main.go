@@ -53,7 +53,7 @@ func run() error {
 		if !ok {
 			continue
 		}
-		inj.OverwriteLayer(p)
+		prot.Sync(func() { inj.OverwriteLayer(p) })
 		attacked, err := model.Predict(probe)
 		if err != nil {
 			return err

@@ -59,10 +59,16 @@ func run() error {
 			break
 		}
 	}
-	w := victim.Params().Data()
-	before := w[5]
-	w[5] = math.Float32frombits(^math.Float32bits(w[5]))
-	fmt.Printf("corrupted %s weight 5: %v -> %v\n", victim.Name(), before, w[5])
+	// Weight traffic goes through the Sync mutation gate — in a live
+	// deployment a guard scrub could be rewriting this layer right now.
+	var before, after float32
+	prot.Sync(func() {
+		w := victim.Params().Data()
+		before = w[5]
+		w[5] = math.Float32frombits(^math.Float32bits(w[5]))
+		after = w[5]
+	})
+	fmt.Printf("corrupted %s weight 5: %v -> %v\n", victim.Name(), before, after)
 
 	// 4. Detect and recover. The context cancels long cycles
 	//    layer-atomically; Background means run to completion.
@@ -74,9 +80,11 @@ func run() error {
 	for _, r := range rec.Results {
 		fmt.Printf("  recovery of %s: %s (%d parameters solved)\n", r.Name, r.Status, r.Solved)
 	}
-	fmt.Printf("weight 5 after self-heal: %v (was %v)\n", w[5], before)
-	if math.Abs(float64(w[5]-before)) > 1e-4 {
-		return fmt.Errorf("recovery failed: %v != %v", w[5], before)
+	var healed float32
+	prot.Sync(func() { healed = victim.Params().Data()[5] })
+	fmt.Printf("weight 5 after self-heal: %v (was %v)\n", healed, before)
+	if math.Abs(float64(healed-before)) > 1e-4 {
+		return fmt.Errorf("recovery failed: %v != %v", healed, before)
 	}
 	fmt.Println("\nself-healing succeeded.")
 	return nil

@@ -69,8 +69,10 @@ func run() error {
 
 	fmt.Printf("%-10s %14s %14s\n", "RBER", "no recovery", "MILR")
 	for _, rate := range []float64{1e-6, 1e-5, 1e-4} {
-		// Without recovery.
-		faults.New(seed+uint64(rate*1e9)).BitFlips(model, rate)
+		// Without recovery. Injection goes through the Sync gate, the
+		// same way the serving examples corrupt a live model.
+		inj := faults.New(seed + uint64(rate*1e9))
+		prot.Sync(func() { inj.BitFlips(model, rate) })
 		raw, err := rt.Evaluate(ctx, model, test)
 		if err != nil {
 			return err
@@ -80,7 +82,8 @@ func run() error {
 			return err
 		}
 		prot.ResetCRC()
-		faults.New(seed+uint64(rate*1e9)).BitFlips(model, rate)
+		inj = faults.New(seed + uint64(rate*1e9))
+		prot.Sync(func() { inj.BitFlips(model, rate) })
 		if _, _, err := prot.SelfHealContext(ctx); err != nil {
 			return err
 		}

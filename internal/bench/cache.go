@@ -8,6 +8,7 @@ import (
 
 	"milr/internal/nn"
 	"milr/internal/tensor"
+	"milr/internal/xmaps"
 )
 
 // Trained-weight caching: training the CIFAR networks in pure Go on one
@@ -42,8 +43,9 @@ func SaveWeights(dir string, env *Env) error {
 		BaseAcc:      env.BaseAcc,
 		Weights:      map[int][]float32{},
 	}
-	for idx, t := range env.Model.Snapshot() {
-		cf.Weights[idx] = append([]float32(nil), t.Data()...)
+	snap := env.Model.Snapshot()
+	for _, idx := range xmaps.SortedKeys(snap) {
+		cf.Weights[idx] = append([]float32(nil), snap[idx].Data()...)
 	}
 	path := filepath.Join(dir, cacheKey(env.Kind, env.Config))
 	f, err := os.Create(path)
@@ -75,7 +77,10 @@ func loadWeights(dir string, kind NetKind, cfg Config, m *nn.Model) (float64, er
 		return 0, os.ErrNotExist
 	}
 	snap := map[int]*tensor.Tensor{}
-	for idx, w := range cf.Weights {
+	// Sorted so a corrupt cache reports the same (lowest) layer on
+	// every run.
+	for _, idx := range xmaps.SortedKeys(cf.Weights) {
+		w := cf.Weights[idx]
 		if idx < 0 || idx >= m.NumLayers() {
 			return 0, fmt.Errorf("bench: cache layer index %d out of range", idx)
 		}

@@ -3,7 +3,6 @@ package bench
 import (
 	"bytes"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"milr/internal/core"
@@ -101,20 +100,17 @@ func (e *Env) forEachCell(n int, fn func(env *Env, i int) error) error {
 			env.Model.SetWorkers(0)
 			env.Protector.SetWorkers(0)
 		}
+		// One pool item per shard: each drains the shared cell counter
+		// on its own env, so an item never runs concurrently with
+		// itself and every cell lands in its own result slot.
 		var next atomic.Int64
 		errs := make([]error, n)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(env *Env) {
-				defer wg.Done()
-				e.forEachCellOn(env, n, &next, func(env *Env, i int) error {
-					errs[i] = fn(env, i)
-					return nil
-				})
-			}(envs[w])
-		}
-		wg.Wait()
+		par.For(workers, workers, func(w int) {
+			e.forEachCellOn(envs[w], n, &next, func(env *Env, i int) error {
+				errs[i] = fn(env, i)
+				return nil
+			})
+		})
 		e.Model.SetWorkers(e.Config.Workers)
 		e.Protector.SetWorkers(e.Config.Workers)
 		for _, cellErr := range errs {

@@ -28,12 +28,9 @@ type LayerPlanInfo struct {
 
 // PlanInfo returns the per-layer MILR plan.
 func (pr *Protector) PlanInfo() []LayerPlanInfo {
-	stored := make(map[int]bool, len(pr.plan.stored))
-	for b := range pr.plan.stored {
-		stored[b] = true
-	}
 	out := make([]LayerPlanInfo, 0, len(pr.plan.layers))
 	for _, lp := range pr.plan.layers {
+		_, boundaryBefore := pr.plan.stored[lp.idx]
 		out = append(out, LayerPlanInfo{
 			Layer:          lp.idx,
 			Name:           pr.model.Layer(lp.idx).Name(),
@@ -43,7 +40,7 @@ func (pr *Protector) PlanInfo() []LayerPlanInfo {
 			PartialMode:    lp.partialMode,
 			InvertNatural:  lp.invertNatural,
 			DummyFilters:   lp.dummyFilters,
-			BoundaryBefore: stored[lp.idx],
+			BoundaryBefore: boundaryBefore,
 		})
 	}
 	return out

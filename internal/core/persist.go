@@ -8,6 +8,7 @@ import (
 	"milr/internal/crc2d"
 	"milr/internal/nn"
 	"milr/internal/tensor"
+	"milr/internal/xmaps"
 )
 
 // Checkpoint persistence. The paper stores MILR's golden data outside
@@ -79,8 +80,8 @@ func (pr *Protector) Save(w io.Writer) error {
 		Boundaries: append([]int(nil), pr.plan.boundarySet...),
 		Stored:     map[int]persistedTensor{},
 	}
-	for b, t := range pr.plan.stored {
-		st.Stored[b] = toPersistedTensor(t)
+	for _, b := range xmaps.SortedKeys(pr.plan.stored) {
+		st.Stored[b] = toPersistedTensor(pr.plan.stored[b])
 	}
 	for _, lp := range pr.plan.layers {
 		pl := persistedLayer{
@@ -134,8 +135,10 @@ func LoadProtector(r io.Reader, model *nn.Model) (*Protector, error) {
 	}
 	pr := &Protector{model: model, plan: pl, opts: st.Opts}
 	pl.boundarySet = append([]int(nil), st.Boundaries...)
-	for b, pt := range st.Stored {
-		t, err := fromPersistedTensor(pt)
+	// Sorted so a corrupt state file reports the same (lowest) boundary
+	// regardless of map iteration order.
+	for _, b := range xmaps.SortedKeys(st.Stored) {
+		t, err := fromPersistedTensor(st.Stored[b])
 		if err != nil {
 			return nil, fmt.Errorf("core: load boundary %d: %w", b, err)
 		}

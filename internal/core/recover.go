@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"milr/internal/tensor"
+	"milr/internal/xmaps"
 )
 
 // RecoveryStatus classifies the outcome of recovering one layer.
@@ -240,8 +241,8 @@ func (pr *Protector) solveConvFinding(lp *layerPlan, f LayerFinding, goldenIn, g
 			res.Detail = err.Error()
 			return res, nil
 		}
-		for _, s := range suspects {
-			res.Solved += len(s)
+		for _, k := range xmaps.SortedKeys(suspects) {
+			res.Solved += len(suspects[k])
 		}
 		if approx > 0 {
 			res.Detail = fmt.Sprintf("%d filters exact, %d filters least-squares (underdetermined)", exact, approx)

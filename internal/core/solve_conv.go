@@ -10,6 +10,7 @@ import (
 	"milr/internal/par"
 	"milr/internal/prng"
 	"milr/internal/tensor"
+	"milr/internal/xmaps"
 )
 
 // Convolution algebra (paper §IV-B). With the golden input lowered by
@@ -103,7 +104,7 @@ func convLocateCRC(lp *layerPlan) (map[int][]int, error) {
 			suspects[cell.Col] = append(suspects[cell.Col], tap)
 		}
 	}
-	for k := range suspects {
+	for _, k := range xmaps.SortedKeys(suspects) {
 		sort.Ints(suspects[k])
 	}
 	return suspects, nil

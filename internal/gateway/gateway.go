@@ -215,7 +215,7 @@ func (g *Gateway) requestContext(r *http.Request) (context.Context, context.Canc
 	}
 	d, err := time.ParseDuration(raw)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bad deadline in %s: %v", src, err)
+		return nil, nil, fmt.Errorf("bad deadline in %s: %w", src, err)
 	}
 	if d <= 0 {
 		return nil, nil, fmt.Errorf("bad deadline in %s: %v is not positive", src, d)

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detrandDirs is the deterministic surface: the engine, the kernels it
+// sits on, the fault injectors, and the campaign harness. Every random
+// draw on these paths must come from a seeded internal/prng stream
+// (campaign cells are byte-identical at any worker count, and stored
+// checkpoints are only usable because dummy tensors regenerate
+// bit-identically), so math/rand, wall-clock seed material, and
+// map-iteration-order dependence are all banned here.
+var detrandDirs = []string{
+	"internal/bench",
+	"internal/core",
+	"internal/crc2d",
+	"internal/dataset",
+	"internal/ecc",
+	"internal/faults",
+	"internal/linalg",
+	"internal/nn",
+	"internal/prng",
+	"internal/tensor",
+	"internal/xmaps",
+	"internal/xts",
+}
+
+// detrandRule enforces seeded determinism on the engine/bench/fault
+// paths. Three checks: no math/rand import (any file — determinism
+// tests must not smuggle an unseeded stream in either), no
+// time.Now().Unix*() seed material, and no ranging over a map in
+// production code (iteration order would leak into campaign results;
+// the map-range check consults best-effort go/types and fails soft when
+// a type cannot be resolved). The one exempted shape is the key
+// collector — a loop whose whole body appends the key to a slice —
+// because collecting keys for sorting is exactly the blessed fix
+// (xmaps.SortedKeys is built from it).
+var detrandRule = &Rule{
+	Name: "detrand",
+	Doc:  "deterministic paths draw randomness only from seeded internal/prng streams — no math/rand, wall-clock seeds, or map-order dependence",
+	run: func(t *Tree, r *reporter) {
+		var info *types.Info
+		for _, f := range t.Files {
+			if !inDirs(f, detrandDirs...) {
+				continue
+			}
+			for _, imp := range f.Ast.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					r.reportf(f, imp.Pos(),
+						"import of %s in a deterministic path — draw from a seeded internal/prng.Stream instead", path)
+				}
+			}
+			timeName := importName(f, "time")
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				if timeName != "" {
+					if call, ok := n.(*ast.CallExpr); ok && isWallClockSeed(call, timeName) {
+						r.reportf(f, call.Pos(),
+							"wall-clock seed material (time.Now().Unix*) in a deterministic path — thread a fixed seed through internal/prng")
+					}
+				}
+				if f.Test {
+					return true
+				}
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if info == nil {
+					info = t.TypesOf()
+				}
+				if tv, ok := info.Types[rng.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isKeyCollector(rng) {
+						r.reportf(f, rng.Pos(),
+							"range over a map in a deterministic path — iteration order is unspecified; iterate xmaps.SortedKeys")
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isKeyCollector matches the one order-independent map-range shape the
+// rule blesses: `for k := range m { keys = append(keys, k) }` — no
+// value variable, a single append of the key. The collected slice is
+// expected to be sorted before use; every other loop shape iterates
+// xmaps.SortedKeys instead.
+func isKeyCollector(rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// isWallClockSeed matches time.Now().Unix(), .UnixNano(), .UnixMilli(),
+// .UnixMicro() — integer wall-clock reads whose only plausible use on a
+// deterministic path is seed material. Plain time.Now() for duration
+// measurement (time.Since) stays legal: benches measure wall time.
+func isWallClockSeed(call *ast.CallExpr, timeName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Unix", "UnixNano", "UnixMilli", "UnixMicro":
+	default:
+		return false
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+	if !ok || innerSel.Sel.Name != "Now" {
+		return false
+	}
+	id, ok := innerSel.X.(*ast.Ident)
+	return ok && id.Name == timeName
+}

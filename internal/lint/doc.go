@@ -1,0 +1,20 @@
+// Package lint is the repository's invariant linter: a stdlib-only
+// (go/ast + go/parser + go/types) suite of static analyzers that encode
+// the correctness contracts earlier PRs established — bounded fan-out
+// through internal/par, seeded determinism through internal/prng, the
+// Protector.Sync mutation gate, context-aware cancellation on every
+// long-running entry point, %w/errors.Is error discipline, and the
+// tensor.GEMMCalls kernel-accounting budget — as machine-checked rules
+// that run over every file on every push.
+//
+// The package has three consumers: lint_invariants_test.go at the repo
+// root (tier-1, fails the build on any finding), cmd/milr-lint (the
+// same rules as a CLI for CI and pre-commit), and the documentation
+// lints (docs_lint_test.go, docs_links_test.go), which share this
+// package's cached module loader so the tree is parsed once per test
+// binary rather than once per lint.
+//
+// Deliberate exceptions live in allow.go, one entry per rule+path with
+// a justification; an entry that stops matching anything is itself a
+// finding, so the allowlist cannot rot.
+package lint

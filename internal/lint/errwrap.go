@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// errwrapRule enforces the PR 6 error contract everywhere, tests
+// included: cross-package sentinel and typed errors survive wrapping
+// only if producers wrap with %w and consumers match with
+// errors.Is/errors.As — so the rule flags the three ways that contract
+// decays: comparing a sentinel with ==/!= (a wrapped value never
+// compares equal), string-matching err.Error() (couples callers to
+// message text), and fmt.Errorf that swallows an error argument without
+// a %w verb (severs the chain errors.Is walks).
+var errwrapRule = &Rule{
+	Name: "errwrap",
+	Doc:  "sentinel/typed errors are wrapped with %w and matched with errors.Is/errors.As — never == or string matching",
+	run: func(t *Tree, r *reporter) {
+		for _, f := range t.Files {
+			stringsName := importName(f, "strings")
+			fmtName := importName(f, "fmt")
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.BinaryExpr:
+					if node.Op != token.EQL && node.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{node.X, node.Y} {
+						other := node.Y
+						if side == node.Y {
+							other = node.X
+						}
+						if isNilIdent(other) {
+							continue
+						}
+						if name, ok := sentinelName(side); ok {
+							r.reportf(f, node.Pos(),
+								"%s compared with %s — wrapped errors never compare equal; use errors.Is", name, node.Op)
+							break
+						}
+						if isErrorStringCall(side) {
+							r.reportf(f, node.Pos(),
+								"err.Error() compared as a string — match with errors.Is/errors.As, not message text")
+							break
+						}
+					}
+				case *ast.CallExpr:
+					if stringsName != "" && isStringMatchCall(node, stringsName) {
+						for _, arg := range node.Args {
+							if containsErrorStringCall(arg) {
+								r.reportf(f, node.Pos(),
+									"string-matching err.Error() — match with errors.Is/errors.As, not message text")
+								break
+							}
+						}
+					}
+					if fmtName != "" && isSelCall(node, fmtName, "Errorf") {
+						checkErrorfWrap(f, r, node)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// sentinelName reports whether expr looks like a sentinel error value:
+// an identifier or selector following the ErrXxx convention, or one of
+// the stdlib sentinels that predate it.
+func sentinelName(expr ast.Expr) (string, bool) {
+	name := ""
+	switch e := expr.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			full := id.Name + "." + e.Sel.Name
+			switch full {
+			case "io.EOF", "context.Canceled", "context.DeadlineExceeded", "sql.ErrNoRows":
+				return full, true
+			}
+			name = e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	if len(name) > 3 && strings.HasPrefix(name, "Err") && name[3] >= 'A' && name[3] <= 'Z' {
+		return name, true
+	}
+	return "", false
+}
+
+func isNilIdent(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isErrorStringCall matches a call of a method named Error with no
+// arguments — the err.Error() read.
+func isErrorStringCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Error"
+}
+
+func containsErrorStringCall(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isErrorStringCall(e) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isStringMatchCall matches strings.Contains / HasPrefix / HasSuffix /
+// EqualFold / Index — the substring checks people reach for when they
+// should be using errors.Is.
+func isStringMatchCall(call *ast.CallExpr, stringsName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != stringsName {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index":
+		return true
+	}
+	return false
+}
+
+func isSelCall(call *ast.CallExpr, pkg, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose format string has no %w
+// verb while an argument is recognizably an error value (an identifier
+// named err or *err/*Err by convention, or a call to .Err()): the
+// resulting error hides its cause from errors.Is/errors.As.
+func checkErrorfWrap(f *File, r *reporter, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name, ok := errorishArg(arg); ok {
+			r.reportf(f, call.Pos(),
+				"fmt.Errorf formats error %s without %%w — the cause is severed from errors.Is/errors.As; wrap with %%w (or allowlist a deliberately opaque boundary)", name)
+			return
+		}
+	}
+}
+
+// errorishArg reports whether the argument is, by naming convention,
+// an error value.
+func errorishArg(arg ast.Expr) (string, bool) {
+	switch a := arg.(type) {
+	case *ast.Ident:
+		if a.Name == "err" || strings.HasSuffix(a.Name, "Err") || (strings.HasSuffix(a.Name, "err") && a.Name != "err") {
+			return a.Name, true
+		}
+	case *ast.CallExpr:
+		if sel, ok := a.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" && len(a.Args) == 0 {
+			return "ctx.Err()", true
+		}
+	}
+	return "", false
+}

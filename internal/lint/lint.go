@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a rule violation at a position. The JSON
+// field names are the CLI's output contract (cmd/milr-lint -json) and
+// are pinned by its output-shape test.
+type Finding struct {
+	// Rule is the analyzer that fired, e.g. "nakedgo".
+	Rule string `json:"rule"`
+	// File is the module-relative slash path of the offending file.
+	File string `json:"file"`
+	// Line and Col are 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Msg says what was violated and what to do instead.
+	Msg string `json:"msg"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Msg)
+}
+
+// Rule is one invariant analyzer.
+type Rule struct {
+	// Name identifies the rule in findings, allowlist entries, and the
+	// CLI's -rules flag.
+	Name string
+	// Doc is the one-line invariant the rule enforces.
+	Doc string
+
+	run func(t *Tree, r *reporter)
+}
+
+// reporter accumulates findings for one rule over one tree.
+type reporter struct {
+	tree *Tree
+	rule string
+	out  []Finding
+}
+
+// reportf records a finding at pos, which must belong to file f.
+func (r *reporter) reportf(f *File, pos token.Pos, format string, args ...any) {
+	p := r.tree.Fset.Position(pos)
+	r.out = append(r.out, Finding{
+		Rule: r.rule,
+		File: f.Path,
+		Line: p.Line,
+		Col:  p.Column,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Rules returns every analyzer in name order.
+func Rules() []*Rule {
+	rules := []*Rule{
+		ctxcheckRule,
+		detrandRule,
+		errwrapRule,
+		gemmbudgetRule,
+		nakedgoRule,
+		syncgateRule,
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
+	return rules
+}
+
+// RuleByName resolves a rule name, for the CLI's -rules flag.
+func RuleByName(name string) (*Rule, bool) {
+	for _, r := range Rules() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Run applies the given rules to the tree and returns the findings that
+// survive the allowlist, sorted by file, line, column, rule.
+func Run(t *Tree, rules []*Rule) []Finding {
+	findings, _ := RunDetailed(t, rules)
+	return findings
+}
+
+// RunDetailed is Run plus allowlist hygiene: the second return value
+// lists allowlist entries (for the rules that ran) that matched no raw
+// finding — dead exceptions that should be deleted so the allowlist
+// documents only real, current deviations.
+func RunDetailed(t *Tree, rules []*Rule) ([]Finding, []Exception) {
+	var raw []Finding
+	ran := map[string]bool{}
+	for _, rule := range rules {
+		ran[rule.Name] = true
+		r := &reporter{tree: t, rule: rule.Name}
+		rule.run(t, r)
+		raw = append(raw, r.out...)
+	}
+	used := map[int]bool{}
+	var kept []Finding
+	for _, f := range raw {
+		if i, ok := matchException(f); ok {
+			used[i] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	var unused []Exception
+	for i, e := range exceptions {
+		if ran[e.Rule] && !used[i] {
+			unused = append(unused, e)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return kept, unused
+}
+
+// matchException reports the index of the first allowlist entry
+// covering the finding.
+func matchException(f Finding) (int, bool) {
+	for i, e := range exceptions {
+		if e.Rule != f.Rule {
+			continue
+		}
+		if e.Path == f.File || (strings.HasSuffix(e.Path, "/") && strings.HasPrefix(f.File, e.Path)) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// importName returns the local identifier under which file f imports
+// the package whose import path ends in pathSuffix ("" when absent).
+// The suffix match keeps rules independent of the module path, so they
+// work unchanged on fixture trees.
+func importName(f *File, pathSuffix string) string {
+	for _, imp := range f.Ast.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != pathSuffix && !strings.HasSuffix(path, "/"+pathSuffix) {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	return ""
+}
+
+// inDirs reports whether the file's directory is one of dirs or nested
+// beneath one of them.
+func inDirs(f *File, dirs ...string) bool {
+	for _, d := range dirs {
+		if f.Dir == d || strings.HasPrefix(f.Dir, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLitIntervals collects the position ranges of every func literal
+// passed directly as an argument to a call of a method named method —
+// e.g. the callbacks of Protector.Sync — so other nodes can be tested
+// for lexical containment.
+func funcLitIntervals(f *File, method string) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(f.Ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				spans = append(spans, [2]token.Pos{lit.Pos(), lit.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+func within(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// nakedgoRule enforces the PR 1 fan-out contract: production code never
+// spawns raw goroutines — all data-parallel fan-out goes through the
+// bounded executors in internal/par (Blocks/For/Pool), so worker counts
+// stay budgeted and joins stay structured. The only exceptions are the
+// approved long-lived driver loops in allow.go (dispatchers, guard
+// tickers, daemon error pumps), each with its shutdown story recorded.
+//
+// Test files are exempt by scope: goroutines there are the concurrent
+// scenario under test (client swarms, close storms), they are joined
+// explicitly, and the -race CI jobs own their correctness.
+var nakedgoRule = &Rule{
+	Name: "nakedgo",
+	Doc:  "no go statements outside internal/par and approved driver files — fan-out goes through the bounded pool",
+	run: func(t *Tree, r *reporter) {
+		for _, f := range t.Files {
+			if f.Test || inDirs(f, "internal/par") {
+				continue
+			}
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					r.reportf(f, g.Pos(),
+						"naked go statement — route fan-out through internal/par (Blocks/For/Pool), or record this driver loop in the lint allowlist with its shutdown story")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// syncgateEngineDirs are the packages allowed to touch weights
+// directly: the layers that own them, the solve paths that rewrite them
+// under the protector's lock, and the fault injectors (mutation
+// primitives that callers must themselves invoke under the gate — which
+// is exactly what this rule checks at every call site).
+var syncgateEngineDirs = []string{
+	"internal/core",
+	"internal/faults",
+	"internal/linalg",
+	"internal/nn",
+	"internal/tensor",
+}
+
+// injectorMutators are the internal/faults methods that corrupt a live
+// model in place.
+var injectorMutators = map[string]bool{
+	"BitFlips":           true,
+	"Burst":              true,
+	"CiphertextBitFlips": true,
+	"FlipExactBits":      true,
+	"OverwriteLayer":     true,
+	"StuckAt":            true,
+	"WholeWeights":       true,
+}
+
+// syncgateRule enforces the PR 1 mutation gate: outside the engine
+// packages, any access to layer parameters (Params / SetParams — reads
+// included, since reading weights that a guard scrub may be rewriting
+// is the same race) and any fault-injector mutation must happen inside
+// a Protector.Sync callback, the lock that serializes weight traffic
+// against detection, recovery, and guarded serving.
+//
+// Test files are exempt by scope: tests that race mutation against
+// serving already use Sync (and -race enforces it empirically); the
+// rest own their models exclusively.
+var syncgateRule = &Rule{
+	Name: "syncgate",
+	Doc:  "weight access outside the engine goes through Protector.Sync — the race-free mutation gate",
+	run: func(t *Tree, r *reporter) {
+		for _, f := range t.Files {
+			if f.Test || inDirs(f, syncgateEngineDirs...) {
+				continue
+			}
+			syncSpans := funcLitIntervals(f, "Sync")
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				gated := name == "Params" || name == "SetParams" || injectorMutators[name]
+				if !gated || within(syncSpans, call.Pos()) {
+					return true
+				}
+				r.reportf(f, call.Pos(),
+					"%s outside a Protector.Sync callback — weight access must go through the mutation gate (prot.Sync(func(){ ... }))", name)
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,25 @@
+// Package fixture satisfies the ctxcheck contract for internal/serve:
+// both required entry points present, ctx first, named, consulted;
+// helpers without contexts are untouched.
+package fixture
+
+import "context"
+
+// Predict consults its context.
+func Predict(ctx context.Context, x []float32) error {
+	return ctx.Err()
+}
+
+// PredictBatch hands its context to a helper, which counts as
+// consulting it.
+func PredictBatch(ctx context.Context, xs [][]float32) error {
+	for range xs {
+		if err := Predict(ctx, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats is exported but takes no context — out of scope.
+func Stats() int { return 0 }

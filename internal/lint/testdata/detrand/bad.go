@@ -1,0 +1,20 @@
+// Package fixture exercises the detrand rule: an unseeded stream, a
+// wall-clock seed, and a map range on a deterministic path.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seed() int64 {
+	return time.Now().UnixNano()
+}
+
+func draw(counts map[string]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total + rand.Int()
+}

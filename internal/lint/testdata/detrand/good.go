@@ -1,0 +1,22 @@
+// Package fixture shows the sanctioned shapes: the key-collector map
+// range (the blessed fix detrand is steering toward) and wall-clock
+// reads used only for durations, never as seed material.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+func ordered(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

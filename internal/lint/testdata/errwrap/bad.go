@@ -1,0 +1,25 @@
+// Package fixture exercises the errwrap rule: sentinel ==, message
+// string-matching, and an fmt.Errorf that severs the error chain.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var ErrGone = errors.New("gone")
+
+func classify(err error) string {
+	if err == ErrGone {
+		return "gone"
+	}
+	if strings.Contains(err.Error(), "timeout") {
+		return "timeout"
+	}
+	return "other"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("lookup failed: %v", err)
+}

@@ -1,0 +1,21 @@
+// Package fixture shows the PR 6 error contract done right: errors.Is
+// for sentinels and %w wrapping that keeps the chain walkable.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrGone = errors.New("gone")
+
+func classify(err error) string {
+	if errors.Is(err, ErrGone) {
+		return "gone"
+	}
+	return "other"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("lookup failed: %w", err)
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises the gemmbudget rule at a virtual path
+// inside internal/serve: direct kernel and matrix-multiply calls that
+// would bypass tensor.GEMMCalls accounting.
+package fixture
+
+import (
+	"milr/internal/linalg"
+	"milr/internal/tensor"
+)
+
+func fused(a, b *linalg.Matrix, x, w *tensor.Tensor) {
+	_ = tensor.MatMul(x, w)
+	a.MulWorkers(b, 4)
+}

@@ -1,0 +1,10 @@
+// Package fixture shows serving-side code that reaches the kernels
+// only through the layer ops — no tensor/linalg import, nothing for
+// gemmbudget to flag.
+package fixture
+
+type model interface{ Predict(x []float32) (int, error) }
+
+func predict(m model, x []float32) (int, error) {
+	return m.Predict(x)
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises the nakedgo rule: raw goroutines outside
+// internal/par and the approved driver files.
+package fixture
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w()
+	}
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises the syncgate rule: weight access and fault
+// injection outside a Protector.Sync callback.
+package fixture
+
+type layer interface{ Params() []float32 }
+
+type injector interface{ BitFlips(m any, rate float64) }
+
+type protector interface{ Sync(func()) }
+
+func corrupt(p protector, l layer, inj injector) {
+	w := l.Params()
+	_ = w
+	inj.BitFlips(nil, 1e-6)
+	p.Sync(func() {
+		inj.BitFlips(nil, 1e-6) // gated: not a finding
+	})
+}

@@ -1,0 +1,17 @@
+// Package fixture shows gated weight traffic: every Params read and
+// injector mutation happens inside the Sync callback.
+package fixture
+
+type layer interface{ Params() []float32 }
+
+type injector interface{ BitFlips(m any, rate float64) }
+
+type protector interface{ Sync(func()) }
+
+func corrupt(p protector, l layer, inj injector) {
+	p.Sync(func() {
+		w := l.Params()
+		w[0] = 0
+		inj.BitFlips(nil, 1e-6)
+	})
+}

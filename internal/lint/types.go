@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"strings"
+)
+
+// typeInfo is the merged best-effort type information for every
+// non-test package in the tree. Type checking is best-effort by design:
+// the checker's error handler collects and discards problems (an
+// unresolvable import degrades the affected expressions to invalid
+// types) so rules that consult types — map-iteration detection in
+// detrand — fail soft instead of blocking the whole lint.
+type typeInfo struct {
+	info *types.Info
+}
+
+// TypesOf returns the merged type table, computing it on first use.
+// AST nodes are unique across the tree, so one table serves every
+// package.
+func (t *Tree) TypesOf() *types.Info {
+	t.typesOnce.Do(func() {
+		t.typesInfo = t.check()
+	})
+	return t.typesInfo.info
+}
+
+func (t *Tree) check() *typeInfo {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	imp := &moduleImporter{
+		tree: t,
+		std:  importer.ForCompiler(t.Fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+		info: info,
+	}
+	for dir := range t.PackageFiles() {
+		imp.checkDir(dir)
+	}
+	return &typeInfo{info: info}
+}
+
+// moduleImporter resolves module-internal import paths from the parsed
+// tree itself (type-checking the target package on demand, memoized)
+// and everything else from Go source via the compiler "source"
+// importer, so the lint needs no pre-built export data.
+type moduleImporter struct {
+	tree *Tree
+	std  types.Importer
+	pkgs map[string]*types.Package
+	info *types.Info
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	mod := m.tree.Module
+	if path == mod || strings.HasPrefix(path, mod+"/") {
+		dir := "."
+		if path != mod {
+			dir = strings.TrimPrefix(path, mod+"/")
+		}
+		pkg := m.checkDir(dir)
+		m.pkgs[path] = pkg
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err == nil {
+		m.pkgs[path] = pkg
+	}
+	return pkg, err
+}
+
+// checkDir type-checks the non-test package in dir against the tree,
+// soft-collecting errors. Returns the (possibly incomplete) package,
+// never nil for a dir that has files.
+func (m *moduleImporter) checkDir(dir string) *types.Package {
+	path := m.tree.Module
+	if dir != "." {
+		path = m.tree.Module + "/" + dir
+	}
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg
+	}
+	files := m.tree.PackageFiles()[dir]
+	if len(files) == 0 {
+		m.pkgs[path] = types.NewPackage(path, "")
+		return m.pkgs[path]
+	}
+	// Reserve the slot first so import cycles (which the tree should
+	// never contain, but a broken fixture might) terminate instead of
+	// recursing forever.
+	placeholder := types.NewPackage(path, files[0].Ast.Name.Name)
+	m.pkgs[path] = placeholder
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.Ast
+	}
+	conf := types.Config{
+		Importer: m,
+		Error:    func(error) {}, // best-effort: collect nothing, continue
+	}
+	pkg, _ := conf.Check(path, m.tree.Fset, asts, m.info)
+	if pkg != nil {
+		m.pkgs[path] = pkg
+		return pkg
+	}
+	return placeholder
+}

@@ -6,6 +6,7 @@ import (
 
 	"milr/internal/prng"
 	"milr/internal/tensor"
+	"milr/internal/xmaps"
 )
 
 // Model is an ordered stack of layers with a fixed input shape. Building
@@ -204,9 +205,12 @@ func (m *Model) Snapshot() map[int]*tensor.Tensor {
 	return out
 }
 
-// Restore overwrites parameters from a Snapshot.
+// Restore overwrites parameters from a Snapshot. Layers restore in
+// ascending index order so a bad snapshot reports the same (lowest)
+// offending layer on every run.
 func (m *Model) Restore(snap map[int]*tensor.Tensor) error {
-	for i, t := range snap {
+	for _, i := range xmaps.SortedKeys(snap) {
+		t := snap[i]
 		if i < 0 || i >= len(m.layers) {
 			return fmt.Errorf("nn: restore index %d out of range", i)
 		}

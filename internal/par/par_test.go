@@ -61,15 +61,20 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 }
 
 func TestForErrReturnsLowestIndexError(t *testing.T) {
+	errItem7 := errors.New("item 7")
+	errItem13 := errors.New("item 13")
 	for _, workers := range []int{1, 4} {
 		err := ForErr(20, workers, func(i int) error {
-			if i == 7 || i == 13 {
-				return fmt.Errorf("item %d", i)
+			switch i {
+			case 7:
+				return fmt.Errorf("cell failed: %w", errItem7)
+			case 13:
+				return fmt.Errorf("cell failed: %w", errItem13)
 			}
 			return nil
 		})
-		if err == nil || err.Error() != "item 7" {
-			t.Errorf("workers=%d: got %v, want item 7", workers, err)
+		if !errors.Is(err, errItem7) || errors.Is(err, errItem13) {
+			t.Errorf("workers=%d: got %v, want the item-7 error", workers, err)
 		}
 	}
 	if err := ForErr(10, 4, func(int) error { return nil }); err != nil {

@@ -1,0 +1,23 @@
+// Package xmaps provides deterministic map-traversal helpers for the
+// engine's deterministic paths: Go map iteration order is unspecified,
+// so any loop whose effects could depend on visit order (error
+// selection, serialization, floating-point accumulation) iterates
+// SortedKeys instead. The detrand invariant lint (internal/lint)
+// enforces exactly that on the engine, bench, and fault packages.
+package xmaps
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the map's keys in ascending order — the
+// deterministic iteration schedule for a Go map.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

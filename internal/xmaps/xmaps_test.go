@@ -1,0 +1,16 @@
+package xmaps
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", -2: "x"}
+	if got, want := SortedKeys(m), []int{-2, 1, 3, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[string]int{}); len(got) != 0 {
+		t.Errorf("SortedKeys(empty) = %v, want empty", got)
+	}
+}

@@ -1,0 +1,40 @@
+package milr_test
+
+import (
+	"testing"
+
+	"milr/internal/lint"
+)
+
+// Invariant lint, enforced in tier-1 alongside the godoc and link
+// lints: the concurrency, determinism, mutation-gate, cancellation,
+// error-contract, and kernel-accounting rules in internal/lint must
+// hold on every file of the tree. cmd/milr-lint runs the same rules
+// for CI and pre-commit; this test makes them part of `go test ./...`.
+//
+// A finding here means either real drift (fix the code) or a new
+// deliberate exception (add it to internal/lint/allow.go with a
+// justification). A dead allowlist entry also fails: exceptions must
+// describe the tree as it is.
+func TestInvariantLint(t *testing.T) {
+	tree := loadTree(t)
+	findings, unused := lint.RunDetailed(tree, lint.Rules())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	for _, e := range unused {
+		t.Errorf("allowlist entry {%s %s} matches nothing — delete it from internal/lint/allow.go", e.Rule, e.Path)
+	}
+}
+
+// loadTree hands every lint in this package the same parsed module:
+// lint.LoadModule caches per process, so the invariant, godoc, and
+// link lints parse the tree once between them.
+func loadTree(t *testing.T) *lint.Tree {
+	t.Helper()
+	tree, err := lint.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
