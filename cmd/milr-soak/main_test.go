@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSmokeCheck runs the CI smoke campaign end to end: the smoke
+// scenario on two tiny nets with -check, the same invocation the CI
+// soak job uses. The wide tolerance absorbs the known heal-batching
+// bias (measured availability sits above the paper's per-error Eq. 6
+// prediction; see BENCHMARKS.md).
+func TestRunSmokeCheck(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "42", "-check", "-tolerance", "0.3"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"soak smoke:", "eq6: predicted=", "heals="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunJSON checks the machine-readable report decodes and carries
+// the campaign's key fields.
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "rber", "-seed", "7", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep struct {
+		Scenario string
+		Seed     uint64
+		Windows  int
+		Issued   int
+		Scrubs   int64
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Scenario != "rber" || rep.Seed != 7 || rep.Windows == 0 || rep.Issued == 0 || rep.Scrubs == 0 {
+		t.Errorf("report fields off: %+v", rep)
+	}
+}
+
+// TestRunFlagErrors covers the argument-validation exits.
+func TestRunFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &out); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-models", "nope"}, &out); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -52,8 +52,14 @@ type FleetStats = fleet.Stats
 // ModelStats is one model's slice of FleetStats: the ServerStats
 // counters (queue depth, batch-fill histogram, bounded-window p50/p99)
 // plus the model's fair-share weight, resolved queue cap, and fleet-
-// guard scrub counters.
+// guard scrub/heal counters.
 type ModelStats = fleet.ModelStats
+
+// ScrubResult summarizes one fleet self-heal scrub cycle: whether the
+// detection pass flagged errors (a heal ran) and whether the model
+// verified clean afterwards. Returned by Fleet.ScrubOnce and counted
+// into ModelStats.Heals.
+type ScrubResult = fleet.ScrubResult
 
 // ModelOption configures one model at Fleet.Register /
 // Fleet.RegisterProtected time.
@@ -143,9 +149,16 @@ func (fl *Fleet) RegisterProtected(name string, pr *Protector, opts ...ModelOpti
 		o(&mc)
 	}
 	mc.Gate = pr.Sync
-	mc.Scrub = func(ctx context.Context) error {
-		_, _, err := pr.SelfHealContext(ctx)
-		return err
+	mc.Scrub = func(ctx context.Context) (fleet.ScrubResult, error) {
+		det, rec, err := pr.SelfHealContext(ctx)
+		var res fleet.ScrubResult
+		if det != nil && det.HasErrors() {
+			res.ErrorsDetected = true
+			res.Recovered = rec != nil && rec.AllRecovered()
+		} else if err == nil {
+			res.Recovered = true // clean pass: nothing flagged
+		}
+		return res, err
 	}
 	return fl.f.Register(name, m, mc)
 }
@@ -174,6 +187,16 @@ func (fl *Fleet) PredictBatch(ctx context.Context, model string, xs []*Tensor) (
 // ctx is done or the fleet closes; at most one guard runs per fleet.
 func (fl *Fleet) StartGuard(ctx context.Context, interval time.Duration) error {
 	return fl.f.StartGuard(ctx, interval)
+}
+
+// ScrubOnce runs exactly one self-heal scrub cycle synchronously: the
+// next protected model in the same round-robin schedule StartGuard
+// walks is scrubbed in the caller's goroutine, and its name plus the
+// cycle's ScrubResult are returned. Deterministic drivers (the chaos
+// soak harness) use it instead of StartGuard so scrub cadence is part
+// of a replayable schedule rather than wall-clock timing.
+func (fl *Fleet) ScrubOnce(ctx context.Context) (string, ScrubResult, error) {
+	return fl.f.ScrubOnce(ctx)
 }
 
 // Stats returns a snapshot of every model's serving counters plus

@@ -62,6 +62,29 @@ func (p Params) Availability() float64 {
 	return tbe / (tbe + downtime)
 }
 
+// ParamsForInterval builds Params whose TimeBetweenErrors equals the
+// given observed interval: it inverts the FIT-rate relationship to find
+// the WeightBits footprint that would produce one error every
+// tbeSeconds at the paper's FIT rate. A measured harness (the chaos
+// soak) uses it to evaluate Eq. 6 at the error rate it actually
+// injected rather than the rate the footprint implies — the error
+// process is the scenario's, not the field's.
+func ParamsForInterval(tbeSeconds, detectSeconds, recoverSeconds, detectionsPerError float64) Params {
+	const yearSeconds = 365 * 24 * 3600
+	epy := 0.0
+	if tbeSeconds > 0 {
+		epy = yearSeconds / tbeSeconds
+	}
+	// Invert ErrorsPerYear: epy = FITPerMbit·(bits/1e6)/1e9·24·365.
+	mbit := epy * 1e9 / (FITPerMbit * 24 * 365)
+	return Params{
+		DetectSeconds:      detectSeconds,
+		RecoverSeconds:     recoverSeconds,
+		WeightBits:         mbit * 1e6,
+		DetectionsPerError: detectionsPerError,
+	}
+}
+
 // Point is one sample of the trade-off curve.
 type Point struct {
 	// Availability in [0,1].

@@ -1,6 +1,7 @@
 package availability
 
 import (
+	"math"
 	"testing"
 )
 
@@ -47,6 +48,110 @@ func TestAvailabilityBounds(t *testing.T) {
 	a := mnistParams().Availability()
 	if a <= 0 || a >= 1 {
 		t.Errorf("availability %v outside (0,1)", a)
+	}
+}
+
+// TestAvailabilityHandComputed pins Eq. 6 to hand-computed values —
+// the numeric contract the chaos soak validates against. Each case is
+// worked end to end by hand: errors/year from the FIT rate, Tbe from
+// the year length, then A = Tbe/(Tbe + I·Td + Tr).
+func TestAvailabilityHandComputed(t *testing.T) {
+	const relTol = 1e-12
+	cases := []struct {
+		name          string
+		p             Params
+		wantEPY       float64 // FITPerMbit·Mbit/1e9 · 24·365
+		wantTbe       float64 // 31,536,000 / EPY
+		wantAvailable float64 // Tbe/(Tbe + I·Td + Tr), exact quotient
+	}{
+		{
+			// 1 Mbit: 75000/1e9 errors/hour = 7.5e-5; ×8760 h = 0.657/yr.
+			// Tbe = 31,536,000/0.657 = 48,000,000 s. Downtime per interval
+			// = 2·1 + 10 = 12 s.
+			name:          "1Mbit_Td1_Tr10_I2",
+			p:             Params{DetectSeconds: 1, RecoverSeconds: 10, WeightBits: 1e6, DetectionsPerError: 2},
+			wantEPY:       0.657,
+			wantTbe:       48e6,
+			wantAvailable: 48000000.0 / 48000012.0,
+		},
+		{
+			// 2 Mbit: EPY doubles to 1.314, Tbe halves to 24,000,000 s.
+			// Downtime = 1·2 + 0 = 2 s.
+			name:          "2Mbit_Td2_Tr0_I1",
+			p:             Params{DetectSeconds: 2, RecoverSeconds: 0, WeightBits: 2e6, DetectionsPerError: 1},
+			wantEPY:       1.314,
+			wantTbe:       24e6,
+			wantAvailable: 24000000.0 / 24000002.0,
+		},
+		{
+			// 8 Mbit: 600,000/1e9 per hour = 6e-4; ×8760 = 5.256/yr.
+			// Tbe = 31,536,000/5.256 = 6,000,000 s. Downtime = 10·0.5 +
+			// 100 = 105 s.
+			name:          "8Mbit_Td0.5_Tr100_I10",
+			p:             Params{DetectSeconds: 0.5, RecoverSeconds: 100, WeightBits: 8e6, DetectionsPerError: 10},
+			wantEPY:       5.256,
+			wantTbe:       6e6,
+			wantAvailable: 6000000.0 / 6000105.0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.ErrorsPerYear(); math.Abs(got-tc.wantEPY) > relTol*tc.wantEPY {
+				t.Errorf("ErrorsPerYear = %v, hand-computed %v", got, tc.wantEPY)
+			}
+			if got := tc.p.TimeBetweenErrors(); math.Abs(got-tc.wantTbe) > relTol*tc.wantTbe {
+				t.Errorf("TimeBetweenErrors = %v, hand-computed %v", got, tc.wantTbe)
+			}
+			if got := tc.p.Availability(); math.Abs(got-tc.wantAvailable) > relTol {
+				t.Errorf("Availability = %.15f, hand-computed %.15f", got, tc.wantAvailable)
+			}
+		})
+	}
+}
+
+// TestAccuracyAtHandComputed pins the curve queries on a hand-built
+// curve where every answer is readable by eye, so interpolation policy
+// (best accuracy among points meeting the availability floor, and vice
+// versa) cannot drift silently.
+func TestAccuracyAtHandComputed(t *testing.T) {
+	curve := []Point{
+		{Availability: 0.90, MinAccuracy: 0.99},
+		{Availability: 0.99, MinAccuracy: 0.95},
+		{Availability: 0.999, MinAccuracy: 0.90},
+	}
+	if acc, err := AccuracyAt(curve, 0.95); err != nil || acc != 0.95 {
+		t.Errorf("AccuracyAt(0.95) = %v, %v; want 0.95 (best accuracy with availability ≥ 0.95)", acc, err)
+	}
+	if acc, err := AccuracyAt(curve, 0.999); err != nil || acc != 0.90 {
+		t.Errorf("AccuracyAt(0.999) = %v, %v; want 0.90 (only the last point qualifies)", acc, err)
+	}
+	if _, err := AccuracyAt(curve, 0.9999); err == nil {
+		t.Error("AccuracyAt above the curve's best availability must fail")
+	}
+	if av, err := AvailabilityAt(curve, 0.94); err != nil || av != 0.99 {
+		t.Errorf("AvailabilityAt(0.94) = %v, %v; want 0.99 (best availability with accuracy ≥ 0.94)", av, err)
+	}
+	if _, err := AvailabilityAt(curve, 0.999); err == nil {
+		t.Error("AvailabilityAt above the curve's best accuracy must fail")
+	}
+}
+
+// TestParamsForInterval pins the soak's inversion helper: the built
+// Params reproduce the observed error interval exactly, so evaluating
+// Eq. 6 on them is evaluating it at the measured error rate.
+func TestParamsForInterval(t *testing.T) {
+	for _, tbe := range []float64{6e6, 4.8e7, 123456} {
+		p := ParamsForInterval(tbe, 1, 10, 2)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("tbe=%v: %v", tbe, err)
+		}
+		if got := p.TimeBetweenErrors(); math.Abs(got-tbe) > 1e-9*tbe {
+			t.Errorf("tbe=%v: round-trip TimeBetweenErrors = %v", tbe, got)
+		}
+		want := tbe / (tbe + 12)
+		if got := p.Availability(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("tbe=%v: Availability = %v, want %v", tbe, got, want)
+		}
 	}
 }
 

@@ -40,6 +40,12 @@ func (in *Injector) Burst(m *nn.Model, length int) (layer, corrupted int) {
 	}
 	data := chosen.Params().Data()
 	start := in.stream.Intn(len(data))
+	if length >= len(data) {
+		// A burst at least as long as the tensor corrupts all of it —
+		// without this clamp a random start would silently truncate the
+		// burst at the tensor's tail and under-inject the requested run.
+		start = 0
+	}
 	for i := 0; i < length && start+i < len(data); i++ {
 		data[start+i] = math.Float32frombits(^math.Float32bits(data[start+i]))
 		corrupted++
@@ -57,6 +63,73 @@ func (in *Injector) Burst(m *nn.Model, length int) (layer, corrupted int) {
 		}
 	}
 	return layer, corrupted
+}
+
+// BurstAcross corrupts `length` consecutive weights in the model's
+// flat weight address space (all parameter tensors laid end to end, in
+// layer order), flipping every bit of each. Unlike Burst it does not
+// stop at a tensor boundary: a run landing near the end of one layer
+// spills into the next, the correlated cross-layer failure a dying DRAM
+// row induces when adjacent layers share a physical page. The length is
+// clamped to the total parameter count, and a start too close to the
+// end is shifted back so the full run always lands. Returns the model
+// layer indices touched (in order) and the number of corrupted weights.
+func (in *Injector) BurstAcross(m *nn.Model, length int) (layers []int, corrupted int) {
+	params := paramTensors(m)
+	total := 0
+	for _, p := range params {
+		total += p.ParamCount()
+	}
+	if total == 0 || length <= 0 {
+		return nil, 0
+	}
+	if length > total {
+		length = total
+	}
+	start := in.stream.Intn(total)
+	if start+length > total {
+		start = total - length
+	}
+	layerIdx := m.ParamLayers()
+	rem := start
+	left := length
+	for i, p := range params {
+		cnt := p.ParamCount()
+		if rem >= cnt {
+			rem -= cnt
+			continue
+		}
+		data := p.Params().Data()
+		n := cnt - rem
+		if n > left {
+			n = left
+		}
+		for j := 0; j < n; j++ {
+			data[rem+j] = math.Float32frombits(^math.Float32bits(data[rem+j]))
+		}
+		layers = append(layers, layerIdx[i])
+		corrupted += n
+		left -= n
+		rem = 0
+		if left == 0 {
+			break
+		}
+	}
+	return layers, corrupted
+}
+
+// OverwriteModel replaces every parameter of every layer with fresh
+// random values (OverwriteLayer applied model-wide) — the soak
+// harness's whole-model takeover of one fleet member, the worst case a
+// guarded fleet must heal while its neighbours keep serving. Returns
+// the number of overwritten weights.
+func (in *Injector) OverwriteModel(m *nn.Model) int {
+	n := 0
+	for _, p := range paramTensors(m) {
+		in.OverwriteLayer(p)
+		n += p.ParamCount()
+	}
+	return n
 }
 
 // StuckAt forces `count` randomly chosen weights to a stuck value (for

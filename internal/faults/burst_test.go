@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"milr/internal/nn"
@@ -100,4 +101,269 @@ func TestStuckAt(t *testing.T) {
 		t.Errorf("count 0 changed %d", got)
 	}
 	_ = nn.Sample{}
+}
+
+// paramSizes returns the parameter tensor length of each parameterized
+// layer, keyed by model layer index, plus the total parameter count.
+func paramSizes(m *nn.Model) (map[int]int, int) {
+	sizes := map[int]int{}
+	total := 0
+	for i, l := range m.Layers() {
+		if p, ok := l.(nn.Parameterized); ok {
+			sizes[i] = p.ParamCount()
+			total += p.ParamCount()
+		}
+	}
+	return sizes, total
+}
+
+// TestBurstLengthBeyondTensorCoversWholeTensor pins the oversized-burst
+// clamp: a burst at least as long as the chosen tensor must corrupt the
+// entire tensor, not a random tail of it. Before the clamp, a random
+// start offset silently truncated the run — an injector asked for a
+// whole-row burst under-injected whenever the start landed mid-tensor.
+// The seed sweep also exercises the last parameterized layer, where the
+// old truncation had nowhere to spill.
+func TestBurstLengthBeyondTensorCoversWholeTensor(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	refSnap := ref.Snapshot()
+	sizes, total := paramSizes(m)
+	lastLayer := -1
+	for k := range sizes {
+		if k > lastLayer {
+			lastLayer = k
+		}
+	}
+	check := func(seed uint64) int {
+		t.Helper()
+		m.Restore(refSnap)
+		layer, n := New(seed).Burst(m, total*2) // ≥ every tensor's size
+		if layer < 0 {
+			t.Fatalf("seed %d: burst did not land", seed)
+		}
+		if n != sizes[layer] {
+			t.Fatalf("seed %d: burst of length %d on layer %d corrupted %d of %d weights — oversized bursts must cover the whole tensor",
+				seed, total*2, layer, n, sizes[layer])
+		}
+		sa := m.Snapshot()
+		da, db := sa[layer].Data(), refSnap[layer].Data()
+		for i := range da {
+			if math.Float32bits(da[i]) == math.Float32bits(db[i]) {
+				t.Fatalf("seed %d: layer %d weight %d untouched by a whole-tensor burst", seed, layer, i)
+			}
+		}
+		return layer
+	}
+	for seed := uint64(1); seed <= 50; seed++ {
+		check(seed)
+	}
+	// The last parameterized layer is the smallest (a handful of weights
+	// out of thousands), so the size-weighted choice rarely lands there;
+	// search for a seed that hits it — the spot where the pre-clamp
+	// truncation had no next tensor to spill into.
+	hitLast := false
+	for seed := uint64(51); seed <= 50000 && !hitLast; seed++ {
+		hitLast = check(seed) == lastLayer
+	}
+	if !hitLast {
+		t.Fatalf("no seed in range chose the last parameterized layer (%d) — widen the search", lastLayer)
+	}
+}
+
+// TestStuckAtCountBeyondTotalClamps pins the oversized-count clamp: a
+// count above the model's total parameter count must clamp to the total
+// (sticking every weight) and terminate — the rejection-sampling loop
+// draws distinct indices until it has `count` of them, so an unclamped
+// count above the population would spin forever.
+func TestStuckAtCountBeyondTotalClamps(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	_, total := paramSizes(m)
+	const stuck = float32(0.5)
+	changed := New(21).StuckAt(m, total*3+7, stuck)
+	if changed > total {
+		t.Fatalf("stuck-at reported %d changed weights out of %d total", changed, total)
+	}
+	sa, sb := m.Snapshot(), ref.Snapshot()
+	wasStuck := 0
+	for k := range sa {
+		da, db := sa[k].Data(), sb[k].Data()
+		for i := range da {
+			if da[i] != stuck {
+				t.Fatalf("layer %d weight %d = %v after whole-model stuck-at, want %v", k, i, da[i], stuck)
+			}
+			if db[i] == stuck {
+				wasStuck++
+			}
+		}
+	}
+	if changed != total-wasStuck {
+		t.Errorf("changed = %d, want %d (every weight not already at the stuck value)", changed, total-wasStuck)
+	}
+}
+
+// TestBurstAcrossSpansAdjacentLayers pins the cross-layer burst: the
+// run is contiguous in the flat weight address space, its length is
+// exactly min(length, total), and with a long enough run it crosses a
+// layer boundary — the correlated failure shape Burst by design cannot
+// produce.
+func TestBurstAcrossSpansAdjacentLayers(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	refSnap := ref.Snapshot()
+	sizes, total := paramSizes(m)
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	// Longer than the largest tensor: every placement crosses a boundary.
+	length := maxSize + 3
+	if length > total {
+		length = total
+	}
+	spanned := false
+	for seed := uint64(1); seed <= 20; seed++ {
+		m.Restore(refSnap)
+		layers, n := New(seed).BurstAcross(m, length)
+		if n != length {
+			t.Fatalf("seed %d: corrupted %d weights, want the full run of %d", seed, n, length)
+		}
+		if len(layers) >= 2 {
+			spanned = true
+		}
+		// Flatten the diff into global addresses and check contiguity.
+		sa := m.Snapshot()
+		changed := []int{}
+		off := 0
+		changedLayers := []int{}
+		for _, k := range sortedKeys(sizes) {
+			da, db := sa[k].Data(), refSnap[k].Data()
+			touched := false
+			for i := range da {
+				if math.Float32bits(da[i]) != math.Float32bits(db[i]) {
+					changed = append(changed, off+i)
+					touched = true
+				}
+			}
+			if touched {
+				changedLayers = append(changedLayers, k)
+			}
+			off += len(da)
+		}
+		if len(changed) != n {
+			t.Fatalf("seed %d: reported %d corrupted, found %d", seed, n, len(changed))
+		}
+		if changed[len(changed)-1]-changed[0]+1 != len(changed) {
+			t.Fatalf("seed %d: burst not contiguous in flat address space: span %d, count %d",
+				seed, changed[len(changed)-1]-changed[0]+1, len(changed))
+		}
+		if len(changedLayers) != len(layers) {
+			t.Fatalf("seed %d: reported layers %v, corrupted layers %v", seed, layers, changedLayers)
+		}
+		for i := range layers {
+			if layers[i] != changedLayers[i] {
+				t.Fatalf("seed %d: reported layers %v, corrupted layers %v", seed, layers, changedLayers)
+			}
+		}
+	}
+	if !spanned {
+		t.Fatal("no cross-layer burst landed in 20 seeds despite length > max tensor size")
+	}
+	// Length beyond the total clamps to the whole model.
+	m.Restore(refSnap)
+	layers, n := New(99).BurstAcross(m, total*5)
+	if n != total || len(layers) != len(sizes) {
+		t.Fatalf("whole-model burst corrupted %d weights over %d layers, want %d over %d",
+			n, len(layers), total, len(sizes))
+	}
+}
+
+// sortedKeys returns the map's keys in increasing order (test helper —
+// layer order is the flat address-space order).
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// TestOverwriteModelReplacesEveryWeight pins the soak's whole-model
+// takeover shape: every parameter of every layer changes, and the
+// reported count is the model's total parameter count.
+func TestOverwriteModelReplacesEveryWeight(t *testing.T) {
+	m := tinyModel(t)
+	ref := tinyModel(t)
+	_, total := paramSizes(m)
+	n := New(7).OverwriteModel(m)
+	if n != total {
+		t.Fatalf("OverwriteModel reported %d weights, want %d", n, total)
+	}
+	sa, sb := m.Snapshot(), ref.Snapshot()
+	for k := range sa {
+		da, db := sa[k].Data(), sb[k].Data()
+		for i := range da {
+			if da[i] == db[i] {
+				t.Fatalf("layer %d weight %d unchanged after whole-model overwrite", k, i)
+			}
+		}
+	}
+}
+
+// FuzzBurst fuzzes the single-layer burst over (seed, length): for any
+// input it must not panic or spin, must report exactly the number of
+// weights it corrupted, and the corruption must be one contiguous run
+// inside the reported layer. Non-positive lengths are no-ops.
+func FuzzBurst(f *testing.F) {
+	f.Add(uint64(1), 4)
+	f.Add(uint64(11), 0)
+	f.Add(uint64(2), 1<<20)
+	f.Add(uint64(3), -3)
+	f.Add(uint64(42), 1)
+	f.Fuzz(func(t *testing.T, seed uint64, length int) {
+		m := tinyModel(t)
+		ref := tinyModel(t)
+		layer, n := New(seed).Burst(m, length)
+		sa, sb := m.Snapshot(), ref.Snapshot()
+		totalChanged := 0
+		for k := range sa {
+			da, db := sa[k].Data(), sb[k].Data()
+			first, last, count := -1, -1, 0
+			for i := range da {
+				if math.Float32bits(da[i]) != math.Float32bits(db[i]) {
+					if first < 0 {
+						first = i
+					}
+					last = i
+					count++
+				}
+			}
+			if count == 0 {
+				continue
+			}
+			totalChanged += count
+			if k != layer {
+				t.Fatalf("seed=%d length=%d: reported layer %d, corrupted layer %d", seed, length, layer, k)
+			}
+			if last-first+1 != count {
+				t.Fatalf("seed=%d length=%d: non-contiguous burst (span %d, count %d)", seed, length, last-first+1, count)
+			}
+		}
+		if totalChanged != n {
+			t.Fatalf("seed=%d length=%d: reported %d corrupted, found %d", seed, length, n, totalChanged)
+		}
+		if length <= 0 && (layer != -1 || n != 0) {
+			t.Fatalf("seed=%d length=%d: non-positive length must be a no-op, got layer=%d n=%d", seed, length, layer, n)
+		}
+		if length > 0 && n == 0 {
+			t.Fatalf("seed=%d length=%d: positive burst corrupted nothing", seed, length)
+		}
+		if n > length && length > 0 {
+			t.Fatalf("seed=%d length=%d: corrupted %d > requested", seed, length, n)
+		}
+	})
 }

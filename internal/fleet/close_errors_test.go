@@ -108,7 +108,7 @@ func TestFleetModels(t *testing.T) {
 	if err := f.Register("a", mA, fleet.ModelConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	scrub := func(context.Context) error { return nil }
+	scrub := func(context.Context) (fleet.ScrubResult, error) { return fleet.ScrubResult{Recovered: true}, nil }
 	if err := f.Register("b", mB, fleet.ModelConfig{Weight: 3, QueueCap: 2, Scrub: scrub}); err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestFleetModels(t *testing.T) {
 func TestFleetCloseIdempotentConcurrent(t *testing.T) {
 	m, xs, want := tinyModel(t, 1, 16)
 	f := fleet.New(fleet.Config{Workers: 2, BatchSize: 4, MaxDelay: time.Millisecond})
-	scrub := func(ctx context.Context) error { return nil }
+	scrub := func(ctx context.Context) (fleet.ScrubResult, error) { return fleet.ScrubResult{Recovered: true}, nil }
 	if err := f.Register("tiny", m, fleet.ModelConfig{Scrub: scrub}); err != nil {
 		t.Fatal(err)
 	}

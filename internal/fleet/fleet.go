@@ -88,9 +88,25 @@ type ModelConfig struct {
 	// models' throughput.
 	Gate func(func())
 	// Scrub, when non-nil, marks the model as self-healing: the fleet
-	// guard (StartGuard) round-robins calls to it across all such
-	// models. The façade sets it to Protector.SelfHealContext.
-	Scrub func(context.Context) error
+	// guard (StartGuard) and ScrubOnce round-robin calls to it across
+	// all such models. The façade wraps Protector.SelfHealContext,
+	// folding the detection/recovery reports into the ScrubResult so
+	// the fleet can count heals without importing the engine.
+	Scrub func(context.Context) (ScrubResult, error)
+}
+
+// ScrubResult summarizes one self-heal scrub cycle on one model: it is
+// what a ModelConfig.Scrub hook reports back so the fleet can separate
+// clean detection passes from actual heals in its per-model counters.
+type ScrubResult struct {
+	// ErrorsDetected reports whether the cycle's detection pass flagged
+	// at least one layer, i.e. whether a recovery ran at all.
+	ErrorsDetected bool
+	// Recovered reports whether the model verified clean after the
+	// cycle: every flagged layer fully recovered, or nothing was
+	// flagged in the first place. False means approximate or failed
+	// recoveries remain.
+	Recovered bool
 }
 
 // backend is one registered model: its queue, arbiter state and stats.
@@ -102,7 +118,7 @@ type backend struct {
 	cap     int // resolved queue cap, 0 = unbounded
 	block   bool
 	gate    func(func())
-	scrub   func(context.Context) error
+	scrub   func(context.Context) (ScrubResult, error)
 
 	// Guarded by Fleet.mu:
 	pending  []*serve.Request
@@ -111,6 +127,7 @@ type backend struct {
 	space    chan struct{} // closed+replaced whenever queue slots free up
 	scrubs   int64
 	scrubErr int64
+	heals    int64 // scrub cycles whose detection pass flagged errors
 
 	stats *serve.Collector
 }
@@ -138,6 +155,10 @@ type Fleet struct {
 	vtime   float64
 	closed  bool
 	guardOn bool
+	// scrubIdx is the round-robin cursor over self-healing models,
+	// shared by the guard loop and ScrubOnce so a deterministic driver
+	// and the wall-clock guard walk the same schedule.
+	scrubIdx int
 
 	// notify carries "something changed" wake-ups to the dispatcher; a
 	// buffer of one is enough because the dispatcher re-examines every
@@ -575,7 +596,6 @@ func (f *Fleet) guardLoop(ctx context.Context, interval time.Duration) {
 	defer close(f.guardDone)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	idx := 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -584,34 +604,70 @@ func (f *Fleet) guardLoop(ctx context.Context, interval time.Duration) {
 			return
 		case <-ticker.C:
 		}
-		f.mu.Lock()
-		var scrubbable []*backend
-		for _, b := range f.order {
-			if b.scrub != nil {
-				scrubbable = append(scrubbable, b)
-			}
-		}
-		if len(scrubbable) == 0 {
-			f.mu.Unlock()
-			continue
-		}
-		b := scrubbable[idx%len(scrubbable)]
-		idx++
-		f.mu.Unlock()
-		err := b.scrub(ctx)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// Shutdown aborted the cycle mid-scrub (layer-atomically —
-			// see the engine's context contract); drop the partial
-			// cycle and let the next select exit the loop.
-			continue
-		}
-		f.mu.Lock()
-		b.scrubs++
-		if err != nil {
-			b.scrubErr++
-		}
-		f.mu.Unlock()
+		f.scrubNext(ctx)
 	}
+}
+
+// scrubNext advances the shared round-robin cursor to the next
+// self-healing model and runs its scrub in the calling goroutine,
+// updating the model's scrub/heal/failure counters. It is the common
+// core of the guard tick and ScrubOnce.
+func (f *Fleet) scrubNext(ctx context.Context) (string, ScrubResult, error) {
+	f.mu.Lock()
+	var scrubbable []*backend
+	for _, b := range f.order {
+		if b.scrub != nil {
+			scrubbable = append(scrubbable, b)
+		}
+	}
+	if len(scrubbable) == 0 {
+		f.mu.Unlock()
+		return "", ScrubResult{}, fmt.Errorf("fleet: no self-healing models registered (none has a Scrub hook)")
+	}
+	b := scrubbable[f.scrubIdx%len(scrubbable)]
+	f.scrubIdx++
+	f.mu.Unlock()
+	res, err := b.scrub(ctx)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// Shutdown aborted the cycle mid-scrub (layer-atomically —
+		// see the engine's context contract); drop the partial cycle
+		// without counting it.
+		return b.name, res, err
+	}
+	f.mu.Lock()
+	b.scrubs++
+	if res.ErrorsDetected {
+		b.heals++
+	}
+	if err != nil {
+		b.scrubErr++
+	}
+	f.mu.Unlock()
+	return b.name, res, err
+}
+
+// ScrubOnce runs exactly one self-heal scrub cycle synchronously in the
+// caller's goroutine: the next self-healing model in the shared
+// round-robin schedule (the same cursor StartGuard's ticker advances)
+// is scrubbed, its counters are updated, and the model's name plus the
+// cycle's ScrubResult are returned. Deterministic drivers — the chaos
+// soak harness — use it in place of StartGuard so scrub cadence is part
+// of the replayable schedule rather than wall-clock timing. It is safe
+// to use concurrently with serving traffic (each scrub runs under its
+// own model's engine gate) and may be combined with a running guard,
+// though sharing the cursor then makes the interleaving timing-
+// dependent.
+func (f *Fleet) ScrubOnce(ctx context.Context) (string, ScrubResult, error) {
+	if err := ctx.Err(); err != nil {
+		return "", ScrubResult{}, err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return "", ScrubResult{}, ErrClosed
+	}
+	f.mu.Unlock()
+	return f.scrubNext(ctx)
 }
 
 // Close stops admission fleet-wide, serves every request admitted

@@ -493,15 +493,15 @@ func TestGuardRoundRobin(t *testing.T) {
 	defer f.Close()
 	var mu sync.Mutex
 	calls := map[string]int{}
-	scrubFor := func(name string, fail bool) func(context.Context) error {
-		return func(context.Context) error {
+	scrubFor := func(name string, fail bool) func(context.Context) (fleet.ScrubResult, error) {
+		return func(context.Context) (fleet.ScrubResult, error) {
 			mu.Lock()
 			calls[name]++
 			mu.Unlock()
 			if fail {
-				return errors.New("injected scrub failure")
+				return fleet.ScrubResult{}, errors.New("injected scrub failure")
 			}
-			return nil
+			return fleet.ScrubResult{Recovered: true}, nil
 		}
 	}
 	if err := f.Register("a", mA, fleet.ModelConfig{Scrub: scrubFor("a", false)}); err != nil {
@@ -546,6 +546,68 @@ func TestGuardRoundRobin(t *testing.T) {
 	mu.Unlock()
 	if a < 3 || b < 3 {
 		t.Fatalf("scrub hooks called %d/%d times, want >= 3 each", a, b)
+	}
+}
+
+// TestScrubOnceRoundRobinAndHeals pins the synchronous scrub surface:
+// ScrubOnce walks the same round-robin cursor the guard uses, returns
+// the scrubbed model's name and result, and Heals counts exactly the
+// cycles whose hook reported ErrorsDetected.
+func TestScrubOnceRoundRobinAndHeals(t *testing.T) {
+	mA, _, _ := tinyModel(t, 1, 1)
+	mB, _, _ := tinyModel(t, 2, 1)
+	f := fleet.New(fleet.Config{Workers: 1, BatchSize: 1})
+	defer f.Close()
+	ctx := context.Background()
+	if _, _, err := f.ScrubOnce(ctx); err == nil {
+		t.Fatal("ScrubOnce with no self-healing models succeeded")
+	}
+	dirty := true
+	scrubA := func(context.Context) (fleet.ScrubResult, error) {
+		res := fleet.ScrubResult{ErrorsDetected: dirty, Recovered: true}
+		dirty = false
+		return res, nil
+	}
+	scrubB := func(context.Context) (fleet.ScrubResult, error) {
+		return fleet.ScrubResult{Recovered: true}, nil
+	}
+	if err := f.Register("a", mA, fleet.ModelConfig{Scrub: scrubA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Register("b", mB, fleet.ModelConfig{Scrub: scrubB}); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"a", "b", "a", "b"}
+	for i, want := range wantOrder {
+		name, res, err := f.ScrubOnce(ctx)
+		if err != nil {
+			t.Fatalf("scrub %d: %v", i, err)
+		}
+		if name != want {
+			t.Fatalf("scrub %d hit %q, want %q (shared round-robin)", i, name, want)
+		}
+		if !res.Recovered {
+			t.Fatalf("scrub %d: %+v, want Recovered", i, res)
+		}
+	}
+	st := f.Stats()
+	if st.Models["a"].Scrubs != 2 || st.Models["b"].Scrubs != 2 {
+		t.Fatalf("scrub counts %+v, want 2 each", st.Models)
+	}
+	if st.Models["a"].Heals != 1 || st.Models["b"].Heals != 0 {
+		t.Fatalf("heal counts a=%d b=%d, want 1/0 (only the dirty cycle heals)",
+			st.Models["a"].Heals, st.Models["b"].Heals)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, err := f.ScrubOnce(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScrubOnce with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.ScrubOnce(ctx); !errors.Is(err, fleet.ErrClosed) {
+		t.Fatalf("ScrubOnce after Close = %v, want ErrClosed", err)
 	}
 }
 

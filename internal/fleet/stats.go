@@ -61,8 +61,12 @@ type ModelStats struct {
 	// unbounded).
 	QueueCap int
 	// Scrubs counts fleet-guard self-heal cycles completed on this
-	// model.
+	// model (StartGuard ticks plus ScrubOnce calls).
 	Scrubs int64
+	// Heals counts the subset of Scrubs whose detection pass flagged
+	// errors, i.e. cycles that actually repaired (or tried to repair)
+	// corrupted weights rather than verifying a clean model.
+	Heals int64
 	// ScrubFailures counts scrub cycles that returned an engine error.
 	ScrubFailures int64
 }
@@ -87,10 +91,11 @@ func (f *Fleet) Stats() Stats {
 	backends := append([]*backend(nil), f.order...)
 	queued := make([]int, len(backends))
 	scrubs := make([]int64, len(backends))
+	heals := make([]int64, len(backends))
 	scrubErrs := make([]int64, len(backends))
 	for i, b := range backends {
 		queued[i] = len(b.pending)
-		scrubs[i], scrubErrs[i] = b.scrubs, b.scrubErr
+		scrubs[i], heals[i], scrubErrs[i] = b.scrubs, b.heals, b.scrubErr
 	}
 	f.mu.Unlock()
 	st := Stats{Models: make(map[string]ModelStats, len(backends))}
@@ -100,6 +105,7 @@ func (f *Fleet) Stats() Stats {
 			Weight:        b.weight,
 			QueueCap:      b.cap,
 			Scrubs:        scrubs[i],
+			Heals:         heals[i],
 			ScrubFailures: scrubErrs[i],
 		}
 		ms.Queued = queued[i]

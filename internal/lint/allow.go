@@ -38,6 +38,10 @@ var exceptions = []Exception{
 		Why: "closed-loop client swarm: one goroutine per simulated client IS the load model (a pool cap below clients would falsify it); joined by WaitGroup"},
 	{Rule: "nakedgo", Path: "internal/bench/fleetload.go",
 		Why: "closed-loop client swarm per model spec, same load-model argument as serveload.go; joined by WaitGroup"},
+	{Rule: "nakedgo", Path: "internal/soak/swarm.go",
+		Why: "open-loop arrival swarm: one goroutine per scheduled arrival IS the load model; joined by WaitGroup before the window closes"},
+	{Rule: "nakedgo", Path: "internal/soak/harness.go",
+		Why: "Overlap-mode scrub runs concurrently with the window's traffic by design; joined via scrubCh before the window's metrics are read"},
 	{Rule: "nakedgo", Path: "examples/serving/main.go",
 		Why: "teaching example: the visible client swarm + injection ticker are the demo; joined before exit"},
 	{Rule: "nakedgo", Path: "examples/fleet/main.go",

@@ -23,6 +23,7 @@ var detrandDirs = []string{
 	"internal/linalg",
 	"internal/nn",
 	"internal/prng",
+	"internal/soak",
 	"internal/tensor",
 	"internal/xmaps",
 	"internal/xts",

@@ -22,9 +22,11 @@ var syncgateEngineDirs = []string{
 var injectorMutators = map[string]bool{
 	"BitFlips":           true,
 	"Burst":              true,
+	"BurstAcross":        true,
 	"CiphertextBitFlips": true,
 	"FlipExactBits":      true,
 	"OverwriteLayer":     true,
+	"OverwriteModel":     true,
 	"StuckAt":            true,
 	"WholeWeights":       true,
 }

@@ -70,6 +70,34 @@ func (st *Stream) Norm() float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// Poisson returns a Poisson(lambda) sample — the open-loop arrival and
+// fault-event counts of the soak harness. Small rates use Knuth's
+// inversion by sequential search (exact); large rates fall back to a
+// normal approximation clamped at zero, adequate for load generation.
+// Non-positive rates return 0.
+func (st *Stream) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*st.Norm()))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= st.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
 // Intn returns a uniform integer in [0, n). n must be positive.
 func (st *Stream) Intn(n int) int {
 	if n <= 0 {

@@ -104,6 +104,47 @@ func TestIntnBounds(t *testing.T) {
 	}
 }
 
+// TestPoisson pins the soak's arrival/event distribution: exact zeros
+// for non-positive rates, deterministic replay per seed, and empirical
+// mean/variance ≈ λ on both sides of the Knuth/normal-approximation
+// crossover at λ=64.
+func TestPoisson(t *testing.T) {
+	s := New(1)
+	if got := s.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d", got)
+	}
+	if got := s.Poisson(-3); got != 0 {
+		t.Errorf("Poisson(-3) = %d", got)
+	}
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Poisson(3.5) != b.Poisson(3.5) {
+			t.Fatalf("Poisson replay diverged at draw %d", i)
+		}
+	}
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		s := New(7)
+		const n = 50000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(lambda))
+			if v < 0 {
+				t.Fatalf("negative Poisson sample %v", v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("λ=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("λ=%v: variance %v, want ≈λ", lambda, variance)
+		}
+	}
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	err := quick.Check(func(seed uint64) bool {
 		s := New(seed)

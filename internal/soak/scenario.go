@@ -1,0 +1,324 @@
+package soak
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"milr/internal/prng"
+)
+
+// InjectorKind names one of the fault shapes a soak phase applies.
+type InjectorKind int
+
+const (
+	// InjectNone marks a quiet phase: traffic flows, nothing is injected.
+	InjectNone InjectorKind = iota
+	// InjectBitFlips is uniform RBER: every bit of the target's weights
+	// flips independently with Phase.Rate (faults.Injector.BitFlips).
+	InjectBitFlips
+	// InjectBurst is a correlated burst: Phase.BurstLen consecutive
+	// weights in the target's flat address space, crossing adjacent
+	// layer boundaries (faults.Injector.BurstAcross).
+	InjectBurst
+	// InjectStuckAt forces Phase.StuckCells random weights to
+	// Phase.StuckValue (faults.Injector.StuckAt).
+	InjectStuckAt
+	// InjectOverwrite replaces every weight of the target — the
+	// whole-model takeover of one fleet member
+	// (faults.Injector.OverwriteModel).
+	InjectOverwrite
+)
+
+// String names the kind for reports and transcripts.
+func (k InjectorKind) String() string {
+	switch k {
+	case InjectNone:
+		return "none"
+	case InjectBitFlips:
+		return "rber"
+	case InjectBurst:
+		return "burst"
+	case InjectStuckAt:
+		return "stuck"
+	case InjectOverwrite:
+		return "overwrite"
+	}
+	return fmt.Sprintf("InjectorKind(%d)", int(k))
+}
+
+// Phase is one segment of a scenario script: for Windows virtual-clock
+// windows, injection events of one fault shape arrive at a Poisson rate
+// against one target (or round-robin over all of them).
+type Phase struct {
+	// Name labels the phase in reports and transcripts.
+	Name string
+	// Windows is the phase's length in virtual-clock windows (> 0).
+	Windows int
+	// Inject is the fault shape this phase applies; InjectNone makes a
+	// quiet phase.
+	Inject InjectorKind
+	// EventsPerWindow is the Poisson mean of injection events per
+	// window. Zero (required for InjectNone) means no events.
+	EventsPerWindow float64
+	// Rate is the per-bit flip probability for InjectBitFlips.
+	Rate float64
+	// BurstLen is the run length in weights for InjectBurst.
+	BurstLen int
+	// StuckCells is the number of weights forced for InjectStuckAt.
+	StuckCells int
+	// StuckValue is the value stuck cells are forced to.
+	StuckValue float32
+	// Target names the model this phase's events hit; empty round-robins
+	// events over every target in the run.
+	Target string
+}
+
+// validate checks one phase's shape parameters.
+func (ph Phase) validate(i int) error {
+	if ph.Windows <= 0 {
+		return fmt.Errorf("soak: phase %d (%q): Windows must be positive, got %d", i, ph.Name, ph.Windows)
+	}
+	if ph.EventsPerWindow < 0 {
+		return fmt.Errorf("soak: phase %d (%q): negative EventsPerWindow %g", i, ph.Name, ph.EventsPerWindow)
+	}
+	switch ph.Inject {
+	case InjectNone:
+		if ph.EventsPerWindow != 0 {
+			return fmt.Errorf("soak: phase %d (%q): InjectNone with EventsPerWindow %g", i, ph.Name, ph.EventsPerWindow)
+		}
+	case InjectBitFlips:
+		if ph.Rate <= 0 || ph.Rate >= 1 {
+			return fmt.Errorf("soak: phase %d (%q): rber rate %g outside (0,1)", i, ph.Name, ph.Rate)
+		}
+	case InjectBurst:
+		if ph.BurstLen <= 0 {
+			return fmt.Errorf("soak: phase %d (%q): burst length %d", i, ph.Name, ph.BurstLen)
+		}
+	case InjectStuckAt:
+		if ph.StuckCells <= 0 {
+			return fmt.Errorf("soak: phase %d (%q): stuck-at cell count %d", i, ph.Name, ph.StuckCells)
+		}
+	case InjectOverwrite:
+		// No shape parameters.
+	default:
+		return fmt.Errorf("soak: phase %d (%q): unknown injector kind %d", i, ph.Name, int(ph.Inject))
+	}
+	return nil
+}
+
+// Scenario is a seeded soak script: an open-loop arrival rate, a guard
+// cadence, and a sequence of phases. Everything the run does — event
+// times, targets, per-event injector seeds, arrival counts — derives
+// from the script plus one seed, so the same (scenario, seed) pair
+// replays the identical campaign.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// ArrivalsPerWindow is the Poisson mean of client arrivals per model
+	// per window (> 0: a soak without traffic measures nothing).
+	ArrivalsPerWindow float64
+	// GuardEvery runs one round-robin self-heal scrub (Fleet.ScrubOnce)
+	// every GuardEvery windows; 0 disables the guard entirely.
+	GuardEvery int
+	// Phases is the script, played in order.
+	Phases []Phase
+}
+
+// TotalWindows is the scenario's length in windows.
+func (sc Scenario) TotalWindows() int {
+	n := 0
+	for _, ph := range sc.Phases {
+		n += ph.Windows
+	}
+	return n
+}
+
+// Validate checks the script's shape before a run.
+func (sc Scenario) Validate() error {
+	if sc.ArrivalsPerWindow <= 0 {
+		return fmt.Errorf("soak: ArrivalsPerWindow must be positive, got %g", sc.ArrivalsPerWindow)
+	}
+	if sc.GuardEvery < 0 {
+		return fmt.Errorf("soak: negative GuardEvery %d", sc.GuardEvery)
+	}
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("soak: scenario %q has no phases", sc.Name)
+	}
+	for i, ph := range sc.Phases {
+		if err := ph.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Event is one scheduled injection: where it lands in the script, which
+// fault shape hits which model, and the derived seed its injector draws
+// from. Corrupted and Layers are filled in when the run applies the
+// event (under the target's Sync gate) — corruption magnitude depends
+// on the weights at that moment, the schedule does not.
+type Event struct {
+	// Window is the global window index the event fires in.
+	Window int
+	// Phase is the owning phase's name.
+	Phase string
+	// Kind is the fault shape applied.
+	Kind InjectorKind
+	// Model is the resolved target model.
+	Model string
+	// Seed is the event's private injector seed, derived from the
+	// scenario seed and the event's (window, index) coordinates — events
+	// are independent streams, so applying them under any interleaving
+	// across models cannot entangle their draws.
+	Seed uint64
+	// Corrupted counts corrupted weights (flipped bits for
+	// InjectBitFlips), filled at apply time.
+	Corrupted int
+	// Layers lists the model layer indices a burst touched (nil for the
+	// other shapes), filled at apply time.
+	Layers []int
+}
+
+// Timeline expands the script into the run's full injection schedule
+// and per-window arrival counts: events[i] in firing order, and
+// arrivals[w][m] the number of client arrivals for models[m] in window
+// w. The expansion is a pure function of (scenario, seed, models) —
+// this is the replay contract the soak tests pin.
+func (sc Scenario) Timeline(seed uint64, models []string) ([]Event, [][]int, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(models) == 0 {
+		return nil, nil, fmt.Errorf("soak: no models")
+	}
+	index := map[string]int{}
+	for i, m := range models {
+		if _, dup := index[m]; dup {
+			return nil, nil, fmt.Errorf("soak: duplicate model %q", m)
+		}
+		index[m] = i
+	}
+	for i, ph := range sc.Phases {
+		if ph.Target != "" {
+			if _, ok := index[ph.Target]; !ok {
+				return nil, nil, fmt.Errorf("soak: phase %d (%q) targets unknown model %q (have %v)", i, ph.Name, ph.Target, models)
+			}
+		}
+	}
+	schedule := prng.New(subSeed(seed, 0xC4A05, 0))
+	arrivalStream := prng.New(subSeed(seed, 0xC4A05, 1))
+	var events []Event
+	arrivals := make([][]int, sc.TotalWindows())
+	w := 0
+	rr := 0 // round-robin cursor for untargeted phases
+	for _, ph := range sc.Phases {
+		for pw := 0; pw < ph.Windows; pw, w = pw+1, w+1 {
+			if ph.Inject != InjectNone {
+				n := schedule.Poisson(ph.EventsPerWindow)
+				for e := 0; e < n; e++ {
+					target := ph.Target
+					if target == "" {
+						target = models[rr%len(models)]
+						rr++
+					}
+					events = append(events, Event{
+						Window: w,
+						Phase:  ph.Name,
+						Kind:   ph.Inject,
+						Model:  target,
+						Seed:   subSeed(seed, uint64(w), uint64(e)+2),
+					})
+				}
+			}
+			counts := make([]int, len(models))
+			for m := range counts {
+				counts[m] = arrivalStream.Poisson(sc.ArrivalsPerWindow)
+			}
+			arrivals[w] = counts
+		}
+	}
+	return events, arrivals, nil
+}
+
+// subSeed derives an independent stream seed from the scenario seed and
+// a coordinate tuple, FNV-style (the bench harness's runSeed
+// construction): each event and each internal stream gets its own seed,
+// so replays are exact and event draws never entangle.
+func subSeed(base uint64, parts ...uint64) uint64 {
+	h := uint64(1469598103934665603)
+	mixIn := func(v uint64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	mixIn(base)
+	for _, p := range parts {
+		mixIn(p + 1)
+	}
+	return h
+}
+
+// Builtin returns a named built-in scenario: "smoke" (the CI scenario:
+// every fault shape in sequence, bounded length), "rber", "bursts",
+// "stuck", "takeover" (one shape each, longer), or "mixed" (all shapes
+// interleaved at higher rates).
+func Builtin(name string) (Scenario, error) {
+	switch name {
+	case "smoke":
+		return Smoke(), nil
+	case "rber":
+		return singleShape(name, Phase{Name: "rber", Windows: 24, Inject: InjectBitFlips, EventsPerWindow: 0.75, Rate: 2e-4}), nil
+	case "bursts":
+		return singleShape(name, Phase{Name: "bursts", Windows: 24, Inject: InjectBurst, EventsPerWindow: 0.6, BurstLen: 24}), nil
+	case "stuck":
+		return singleShape(name, Phase{Name: "stuck", Windows: 24, Inject: InjectStuckAt, EventsPerWindow: 0.6, StuckCells: 12}), nil
+	case "takeover":
+		return singleShape(name, Phase{Name: "takeover", Windows: 16, Inject: InjectOverwrite, EventsPerWindow: 0.4}), nil
+	case "mixed":
+		return Scenario{
+			Name:              "mixed",
+			ArrivalsPerWindow: 12,
+			GuardEvery:        2,
+			Phases: []Phase{
+				{Name: "rber", Windows: 10, Inject: InjectBitFlips, EventsPerWindow: 1, Rate: 2e-4},
+				{Name: "bursts", Windows: 10, Inject: InjectBurst, EventsPerWindow: 0.8, BurstLen: 32},
+				{Name: "stuck", Windows: 10, Inject: InjectStuckAt, EventsPerWindow: 0.8, StuckCells: 16},
+				{Name: "takeover", Windows: 8, Inject: InjectOverwrite, EventsPerWindow: 0.5},
+			},
+		}, nil
+	}
+	return Scenario{}, fmt.Errorf("soak: unknown scenario %q (have smoke, rber, bursts, stuck, takeover, mixed)", name)
+}
+
+// singleShape wraps one injection phase in a warmup so every built-in
+// starts from a measured clean baseline.
+func singleShape(name string, ph Phase) Scenario {
+	return Scenario{
+		Name:              name,
+		ArrivalsPerWindow: 12,
+		GuardEvery:        2,
+		Phases:            []Phase{{Name: "warmup", Windows: 4}, ph},
+	}
+}
+
+// Smoke is the bounded CI scenario: a clean warmup, then every fault
+// shape in sequence — uniform RBER, correlated cross-layer bursts,
+// stuck-at cells, whole-model takeover — at rates that finish in
+// seconds on the tiny nets while still forcing multiple heals.
+func Smoke() Scenario {
+	return Scenario{
+		Name:              "smoke",
+		ArrivalsPerWindow: 12,
+		GuardEvery:        2,
+		Phases: []Phase{
+			{Name: "warmup", Windows: 4},
+			{Name: "rber", Windows: 8, Inject: InjectBitFlips, EventsPerWindow: 0.75, Rate: 2e-4},
+			{Name: "bursts", Windows: 8, Inject: InjectBurst, EventsPerWindow: 0.5, BurstLen: 24},
+			{Name: "stuck", Windows: 6, Inject: InjectStuckAt, EventsPerWindow: 0.5, StuckCells: 12},
+			{Name: "takeover", Windows: 4, Inject: InjectOverwrite, EventsPerWindow: 0.4},
+		},
+	}
+}

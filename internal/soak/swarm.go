@@ -1,0 +1,73 @@
+package soak
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"milr/internal/bench"
+	"milr/internal/fleet"
+)
+
+// arrival is one scheduled client request: which model, which of its
+// inputs. The schedule (who arrives in which window, with which input)
+// is precomputed deterministically; only the in-window interleaving is
+// left to the scheduler, and answers are interleaving-invariant.
+type arrival struct {
+	modelIdx int
+	inputIdx int
+}
+
+// windowCounts is one window's traffic outcome, per model index.
+type windowCounts struct {
+	issued, correct, wrong, rejected, expired []int
+}
+
+// issueWindow fires the window's arrivals concurrently — one goroutine
+// per arrival, the open-loop load model — against the fleet's Predict
+// surface (bench.ModelPredictor, the same surface bench.RunFleetLoad
+// drives) and waits for all of them. Queue-cap rejections and context
+// expiries are counted, not fatal; any other error aborts the run.
+func issueWindow(ctx context.Context, p bench.ModelPredictor, targets []*Target, reqs []arrival) (windowCounts, error) {
+	n := len(targets)
+	counts := windowCounts{
+		issued:   make([]int, n),
+		correct:  make([]int, n),
+		wrong:    make([]int, n),
+		rejected: make([]int, n),
+		expired:  make([]int, n),
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for _, rq := range reqs {
+		rq := rq
+		counts.issued[rq.modelIdx]++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tg := targets[rq.modelIdx]
+			got, err := p.Predict(ctx, tg.Name, tg.Inputs[rq.inputIdx])
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if got == tg.Want[rq.inputIdx] {
+					counts.correct[rq.modelIdx]++
+				} else {
+					counts.wrong[rq.modelIdx]++
+				}
+			case errors.Is(err, fleet.ErrQueueFull):
+				counts.rejected[rq.modelIdx]++
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+				counts.expired[rq.modelIdx]++
+			default:
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return counts, firstErr
+}

@@ -55,8 +55,10 @@ var goldenAPI = []string{
 	"Fleet.PredictBatch",
 	"Fleet.Register",
 	"Fleet.RegisterProtected",
+	"Fleet.ScrubOnce",
 	"Fleet.StartGuard",
 	"Fleet.Stats",
+	"ScrubResult",
 	"FleetStats",
 	"ModelOption",
 	// Gateway support (PR 6): typed admission errors and the model
