@@ -36,6 +36,9 @@ go test . -bench 'BenchmarkServer(Coalesced|Uncoalesced)$' -cpu "$CPUS" -benchti
 echo "== fleet: skewed 80/20 two-model mix over one shared batch budget =="
 go test . -bench 'BenchmarkFleetSkewed$' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
 
+echo "== tracer overhead: the coalesced swarm with tracing off vs on =="
+go test . -bench 'BenchmarkTracerOverhead' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
+
 echo "== recovery: batched segment sweeps vs sequential per-layer pipeline (MNIST, 3 segments) =="
 go test . -bench 'BenchmarkBatchedRecovery' -cpu "$CPUS" -benchtime "$BENCHTIME" -run XXX
 

@@ -29,6 +29,8 @@ type config struct {
 	maxDeadline time.Duration
 	guard       time.Duration
 	drain       time.Duration
+	trace       int
+	debugAddr   string
 }
 
 // parseFlags parses args into a config without touching global flag
@@ -47,6 +49,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.maxDeadline, "max-deadline", 30*time.Second, "upper clamp on client-requested deadlines (0 = unclamped)")
 	fs.DurationVar(&cfg.guard, "guard", 0, "protect every model with MILR and round-robin self-heal on this interval (0 = no guard)")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	fs.IntVar(&cfg.trace, "trace", 0, "span ring capacity for cross-layer tracing and GET /v1/trace (0 = tracing off)")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "separate listen address for /debug/pprof/ diagnostics (empty = no debug listener; never exposed on -addr)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}

@@ -8,8 +8,16 @@
 //
 //	POST /v1/models/{name}/predict   {"input":[...]} or {"inputs":[[...],...]}
 //	GET  /v1/models                  registered models, shapes and caps
+//	GET  /v1/trace?n=K               last K completed spans (404 without -trace)
 //	GET  /metrics                    Prometheus text exposition format
 //	GET  /healthz                    200 ok, or 503 while draining
+//
+// With -trace N every predict request records a span tree — from
+// gateway.request down to the per-layer tensor.gemm kernels — into a
+// bounded ring served by /v1/trace; the X-Milr-Request-Id header
+// carries (or receives) the trace ID. With -debug-addr a second
+// listener exposes /debug/pprof/ diagnostics, kept off the traffic
+// address on purpose.
 //
 // Clients bound a request with the X-Milr-Deadline header (or
 // ?deadline=), a Go duration mapped onto the request context;
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"milr/internal/gateway"
+	"milr/internal/obs"
 )
 
 func main() {
@@ -69,10 +78,31 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	// the shutdown path's explicit Close runs the one real drain.
 	defer fl.Close()
 
-	gw := gateway.New(fl, gateway.Config{MaxDeadline: cfg.maxDeadline})
+	gwCfg := gateway.Config{MaxDeadline: cfg.maxDeadline}
+	if cfg.trace > 0 {
+		// Daemons trace on the wall clock; the fixed virtual clock is
+		// for deterministic tests. The seed only feeds generated request
+		// IDs, so deriving it from the model seed keeps one knob.
+		gwCfg.Tracer = obs.New(obs.Config{Capacity: cfg.trace, Seed: cfg.seed})
+		log.Printf("milr-gateway: tracing on, ring capacity %d (GET /v1/trace)", cfg.trace)
+	}
+	gw := gateway.New(fl, gwCfg)
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
+	}
+	if cfg.debugAddr != "" {
+		// The pprof routes live on their own listener so profiling
+		// endpoints are never reachable through the traffic address.
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dsrv := &http.Server{Handler: gateway.DebugHandler()}
+		go func() { _ = dsrv.Serve(dln) }()
+		defer dsrv.Close()
+		log.Printf("milr-gateway: debug endpoints on http://%s/debug/pprof/", dln.Addr())
 	}
 	srv := &http.Server{Handler: gw}
 	serveErr := make(chan error, 1)

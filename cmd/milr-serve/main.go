@@ -30,6 +30,7 @@ import (
 	"milr"
 	"milr/internal/bench"
 	"milr/internal/faults"
+	"milr/internal/obs"
 	"milr/internal/prng"
 )
 
@@ -52,6 +53,7 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 42, "master seed")
 		guard    = fs.Duration("guard", 0, "protect the model and scrub on this interval (0 = no guard)")
 		corrupt  = fs.Float64("corrupt", 0, "whole-weight corruption rate injected during the run (needs -guard)")
+		trace    = fs.Int("trace", 0, "record the last N spans per mode and dump the timeline after each run (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,7 +161,15 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := bench.RunServeLoad(ctx, srv, inputs, want, *clients, *requests)
+		// Each mode gets a fresh ring so its timeline stands alone; the
+		// mode name becomes the trace ID in the dump.
+		loadCtx := ctx
+		var tracer *obs.Tracer
+		if *trace > 0 {
+			tracer = obs.New(obs.Config{Capacity: *trace, Seed: *seed})
+			loadCtx = obs.WithTracer(ctx, tracer, mode.name)
+		}
+		res, err := bench.RunServeLoad(loadCtx, srv, inputs, want, *clients, *requests)
 		if cerr := srv.Close(); err == nil {
 			err = cerr
 		}
@@ -168,6 +178,13 @@ func run(args []string) error {
 		}
 		rows = append(rows, runRow{mode.name, res})
 		printRun(mode.name, res)
+		if tracer != nil {
+			fmt.Printf("last %d spans of %d recorded:\n", len(tracer.Last(*trace)), tracer.Completed())
+			if err := obs.WriteTimeline(os.Stdout, tracer.Last(*trace)); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
 	}
 
 	fmt.Printf("coalesced vs uncoalesced throughput: %.2fx\n",

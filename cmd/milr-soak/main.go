@@ -32,6 +32,7 @@ import (
 
 	"milr/internal/core"
 	"milr/internal/nn"
+	"milr/internal/obs"
 	"milr/internal/prng"
 	"milr/internal/soak"
 	"milr/internal/tensor"
@@ -59,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit the full report as JSON instead of the table")
 		check     = fs.Bool("check", false, "CI mode: fail unless the guard healed and the Eq. 6 fit is within -tolerance")
 		tolerance = fs.Float64("tolerance", 0.05, "max |measured - predicted| availability for -check")
+		trace     = fs.Int("trace", 0, "record the last N spans (soak.window trees down to tensor.gemm) and dump the timeline to stderr (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +85,15 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	rep, err := soak.Run(context.Background(), soak.Config{
+	// The timeline goes to stderr so -json output stays machine-readable.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *trace > 0 {
+		tracer = obs.New(obs.Config{Capacity: *trace, Seed: *seed})
+		ctx = obs.WithTracer(ctx, tracer, *scenario)
+	}
+
+	rep, err := soak.Run(ctx, soak.Config{
 		Seed:      *seed,
 		Workers:   *workers,
 		BatchSize: *batch,
@@ -92,6 +102,12 @@ func run(args []string, stdout io.Writer) error {
 	}, sc, targets)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		fmt.Fprintf(os.Stderr, "last %d spans of %d recorded:\n", len(tracer.Last(*trace)), tracer.Completed())
+		if err := obs.WriteTimeline(os.Stderr, tracer.Last(*trace)); err != nil {
+			return err
+		}
 	}
 
 	if *jsonOut {

@@ -27,6 +27,7 @@ var fullyDocumented = map[string]bool{
 	"internal/serve":   true,
 	"internal/fleet":   true,
 	"internal/gateway": true,
+	"internal/obs":     true,
 	"internal/soak":    true,
 }
 

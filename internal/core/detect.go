@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"milr/internal/obs"
 	"milr/internal/par"
 	"milr/internal/prng"
 	"milr/internal/tensor"
@@ -109,6 +110,8 @@ func (pr *Protector) DetectContext(ctx context.Context) (*DetectionReport, error
 }
 
 func (pr *Protector) detectLocked(ctx context.Context) (*DetectionReport, error) {
+	ctx, span := obs.Start(ctx, "core.detect")
+	defer span.End()
 	slots := make([]*LayerFinding, len(pr.plan.layers))
 	err := par.ForErr(len(pr.plan.layers), pr.opts.workerPool(), func(i int) error {
 		if err := ctx.Err(); err != nil {
@@ -130,6 +133,8 @@ func (pr *Protector) detectLocked(ctx context.Context) (*DetectionReport, error)
 			report.Findings = append(report.Findings, *finding)
 		}
 	}
+	span.SetInt("layers", len(pr.plan.layers))
+	span.SetInt("flagged", len(report.Findings))
 	return report, nil
 }
 

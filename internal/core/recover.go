@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"milr/internal/obs"
 	"milr/internal/tensor"
 	"milr/internal/xmaps"
 )
@@ -102,6 +103,9 @@ func (pr *Protector) RecoverContext(ctx context.Context, report *DetectionReport
 // Options.SequentialRecovery selects the original one-layer-at-a-time
 // reference path, which is bit-identical.
 func (pr *Protector) recoverLocked(ctx context.Context, report *DetectionReport) (*RecoveryReport, error) {
+	ctx, span := obs.Start(ctx, "core.recover")
+	span.SetInt("flagged", len(report.Findings))
+	defer span.End()
 	findings := make([]LayerFinding, len(report.Findings))
 	copy(findings, report.Findings)
 	sort.Slice(findings, func(i, j int) bool { return findings[i].Layer < findings[j].Layer })
@@ -161,17 +165,21 @@ func (pr *Protector) SelfHeal() (*DetectionReport, *RecoveryReport, error) {
 func (pr *Protector) SelfHealContext(ctx context.Context) (*DetectionReport, *RecoveryReport, error) {
 	pr.mu.Lock()
 	defer pr.mu.Unlock()
+	ctx, span := obs.Start(ctx, "core.selfheal")
+	defer span.End()
 	det, err := pr.detectLocked(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	if !det.HasErrors() {
+		span.SetAttr("healed", "false")
 		return det, &RecoveryReport{}, nil
 	}
 	rec, err := pr.recoverLocked(ctx, det)
 	if err != nil {
 		return det, nil, err
 	}
+	span.SetAttr("healed", "true")
 	return det, rec, nil
 }
 

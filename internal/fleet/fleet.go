@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"milr/internal/nn"
+	"milr/internal/obs"
 	"milr/internal/par"
 	"milr/internal/serve"
 	"milr/internal/tensor"
@@ -124,10 +126,11 @@ type backend struct {
 	pending  []*serve.Request
 	inflight bool          // one batch per model at a time (FIFO order, serve parity)
 	pass     float64       // stride-scheduler virtual time: lowest pass flushes next
-	space    chan struct{} // closed+replaced whenever queue slots free up
-	scrubs   int64
-	scrubErr int64
-	heals    int64 // scrub cycles whose detection pass flagged errors
+	space     chan struct{} // closed+replaced whenever queue slots free up
+	scrubs    int64
+	scrubErr  int64
+	heals     int64         // scrub cycles whose detection pass flagged errors
+	scrubTime time.Duration // cumulative wall time spent in completed scrub cycles
 
 	stats *serve.Collector
 }
@@ -325,6 +328,12 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 	if x == nil {
 		return nil, fmt.Errorf("fleet: nil input")
 	}
+	// Admission span. Outcomes end it explicitly (not deferred): the
+	// success path must record it while still holding f.mu — before the
+	// dispatcher can see the request — so the ring always orders the
+	// admit span ahead of everything the request's batch records.
+	actx, admit := obs.Start(ctx, "fleet.admit")
+	admit.SetAttr("model", model)
 	f.mu.Lock()
 	b := f.backends[model]
 	if b == nil {
@@ -333,18 +342,26 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 			names = append(names, o.name)
 		}
 		f.mu.Unlock()
+		admit.SetAttr("outcome", "unknown_model")
+		admit.End()
 		return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknownModel, model, names)
 	}
 	if !x.Shape().Equal(b.inShape) {
 		f.mu.Unlock()
+		admit.SetAttr("outcome", "bad_shape")
+		admit.End()
 		return nil, fmt.Errorf("fleet: input shape %v does not match model %q input shape %v", x.Shape(), model, b.inShape)
 	}
 	for {
 		if f.closed {
+			admit.SetAttr("outcome", "closed")
+			admit.End()
 			f.mu.Unlock()
 			return nil, ErrClosed
 		}
 		if err := ctx.Err(); err != nil {
+			admit.SetAttr("outcome", "ctx_done")
+			admit.End()
 			f.mu.Unlock()
 			return nil, err
 		}
@@ -353,6 +370,8 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 		}
 		if !b.block {
 			b.stats.Reject()
+			admit.SetAttr("outcome", "queue_full")
+			admit.End()
 			f.mu.Unlock()
 			return nil, &serve.QueueFullError{Surface: "fleet", Model: model, Cap: b.cap}
 		}
@@ -364,11 +383,16 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 		select {
 		case <-space:
 		case <-ctx.Done():
+			admit.SetAttr("outcome", "ctx_done")
+			admit.End()
 			return nil, ctx.Err()
 		}
 		f.mu.Lock()
 	}
-	r := serve.NewRequest(ctx, x)
+	wctx, wait := obs.Start(actx, "fleet.queue_wait")
+	wait.SetAttr("model", model)
+	r := serve.NewRequest(wctx, x)
+	r.SetWaitSpan(wait)
 	if len(b.pending) == 0 && b.pass < f.vtime {
 		// The model is (re-)entering the runnable set: clamp its account
 		// up to the arbiter's virtual time so an idle spell earns no
@@ -380,6 +404,8 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 	// a Stats snapshot can never show Served > Admitted or a negative
 	// QueueDepth. The collector's mutex is a leaf lock.
 	b.stats.Admit()
+	admit.SetInt("queued", len(b.pending))
+	admit.End()
 	f.mu.Unlock()
 	f.wake()
 	return r, nil
@@ -408,6 +434,7 @@ func (f *Fleet) unqueue(model string, reqs []*serve.Request) {
 	kept := b.pending[:0]
 	for _, r := range b.pending {
 		if drop[r] {
+			r.EndWait("unqueued")
 			removed++
 			continue
 		}
@@ -627,13 +654,22 @@ func (f *Fleet) scrubNext(ctx context.Context) (string, ScrubResult, error) {
 	b := scrubbable[f.scrubIdx%len(scrubbable)]
 	f.scrubIdx++
 	f.mu.Unlock()
-	res, err := b.scrub(ctx)
+	sctx, span := obs.Start(ctx, "fleet.scrub")
+	span.SetAttr("model", b.name)
+	t0 := time.Now()
+	res, err := b.scrub(sctx)
+	dur := time.Since(t0)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		// Shutdown aborted the cycle mid-scrub (layer-atomically —
 		// see the engine's context contract); drop the partial cycle
 		// without counting it.
+		span.SetAttr("outcome", "aborted")
+		span.End()
 		return b.name, res, err
 	}
+	span.SetAttr("detected", strconv.FormatBool(res.ErrorsDetected))
+	span.SetAttr("recovered", strconv.FormatBool(res.Recovered))
+	span.End()
 	f.mu.Lock()
 	b.scrubs++
 	if res.ErrorsDetected {
@@ -642,6 +678,7 @@ func (f *Fleet) scrubNext(ctx context.Context) (string, ScrubResult, error) {
 	if err != nil {
 		b.scrubErr++
 	}
+	b.scrubTime += dur
 	f.mu.Unlock()
 	return b.name, res, err
 }

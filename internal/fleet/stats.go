@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"time"
+
 	"milr/internal/serve"
 	"milr/internal/tensor"
 )
@@ -69,6 +71,11 @@ type ModelStats struct {
 	Heals int64
 	// ScrubFailures counts scrub cycles that returned an engine error.
 	ScrubFailures int64
+	// ScrubTime is the cumulative wall time the model's completed scrub
+	// cycles have taken — the downtime numerator of the paper's Eq. 6
+	// availability model, surfaced per model as the
+	// milr_model_scrub_seconds_total series.
+	ScrubTime time.Duration
 }
 
 // Stats is a point-in-time snapshot of the whole fleet, keyed by model
@@ -82,6 +89,12 @@ type Stats struct {
 	// Admitted and Served aggregate the same per-model counters
 	// fleet-wide — the one-line load summary.
 	Admitted, Served int64
+	// GEMMCalls is the process-wide GEMM kernel invocation count
+	// (tensor.GEMMCalls) at snapshot time. It counts every stacked
+	// product in the process — serving batches, scrub probes, recovery
+	// sweeps — so its rate against Batches and Scrubs shows where the
+	// kernel budget goes.
+	GEMMCalls uint64
 }
 
 // Stats returns a snapshot of every model's counters plus fleet-level
@@ -93,12 +106,14 @@ func (f *Fleet) Stats() Stats {
 	scrubs := make([]int64, len(backends))
 	heals := make([]int64, len(backends))
 	scrubErrs := make([]int64, len(backends))
+	scrubTimes := make([]time.Duration, len(backends))
 	for i, b := range backends {
 		queued[i] = len(b.pending)
 		scrubs[i], heals[i], scrubErrs[i] = b.scrubs, b.heals, b.scrubErr
+		scrubTimes[i] = b.scrubTime
 	}
 	f.mu.Unlock()
-	st := Stats{Models: make(map[string]ModelStats, len(backends))}
+	st := Stats{Models: make(map[string]ModelStats, len(backends)), GEMMCalls: tensor.GEMMCalls()}
 	for i, b := range backends {
 		ms := ModelStats{
 			Stats:         b.stats.Snapshot(),
@@ -107,6 +122,7 @@ func (f *Fleet) Stats() Stats {
 			Scrubs:        scrubs[i],
 			Heals:         heals[i],
 			ScrubFailures: scrubErrs[i],
+			ScrubTime:     scrubTimes[i],
 		}
 		ms.Queued = queued[i]
 		st.Models[b.name] = ms

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"milr/internal/fleet"
+	"milr/internal/obs"
 	"milr/internal/serve"
 	"milr/internal/tensor"
 )
@@ -59,6 +60,13 @@ type Config struct {
 	// a request asking for more is clamped down to it, so one client
 	// cannot park a request (and its queue slot) for an hour.
 	MaxDeadline time.Duration
+	// Tracer, when non-nil, turns on cross-layer tracing: every predict
+	// request gets a gateway.request root span (trace ID from
+	// RequestIDHeader, or freshly issued) whose descendants reach down
+	// to the per-layer tensor.gemm spans, and GET /v1/trace serves the
+	// span ring. Nil keeps the route registered but answering 404 and
+	// adds no per-request overhead.
+	Tracer *obs.Tracer
 }
 
 // Gateway is the HTTP handler tree over a Backend: predict routes, the
@@ -70,6 +78,7 @@ type Gateway struct {
 	mux         *http.ServeMux
 	maxBody     int64
 	maxDeadline time.Duration
+	tracer      *obs.Tracer
 	draining    atomic.Bool
 }
 
@@ -78,9 +87,10 @@ func New(b Backend, cfg Config) *Gateway {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
-	g := &Gateway{b: b, mux: http.NewServeMux(), maxBody: cfg.MaxBody, maxDeadline: cfg.MaxDeadline}
+	g := &Gateway{b: b, mux: http.NewServeMux(), maxBody: cfg.MaxBody, maxDeadline: cfg.MaxDeadline, tracer: cfg.Tracer}
 	g.mux.HandleFunc("POST /v1/models/{model}/predict", g.handlePredict)
 	g.mux.HandleFunc("GET /v1/models", g.handleModels)
+	g.mux.HandleFunc("GET /v1/trace", g.handleTrace)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	return g
@@ -140,50 +150,61 @@ func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if cancel != nil {
 		defer cancel()
 	}
+	ctx, span := g.startTrace(ctx, w, r, name)
+	status, resp := g.predict(ctx, w, r, name, info)
+	// The root span closes before the response goes out: a sequential
+	// client cannot start its next request — and record new spans —
+	// until this request's whole tree is in the ring, which is what
+	// keeps /v1/trace byte-identical across replays.
+	span.SetInt("status", status)
+	span.End()
+	writeJSON(w, status, resp)
+}
+
+// predict decodes the predict-route body and routes it to the backend,
+// returning the response status and JSON body instead of writing them,
+// so handlePredict can close the request's trace span before the
+// response commits. w is used only for MaxBytesReader accounting and
+// the Retry-After hint on queue-full rejections.
+func (g *Gateway) predict(ctx context.Context, w http.ResponseWriter, r *http.Request, name string, info fleet.ModelInfo) (int, any) {
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad payload: " + err.Error(), Model: name})
-		return
+		return http.StatusBadRequest, errorResponse{Error: "bad payload: " + err.Error(), Model: name}
 	}
 	switch {
 	case req.Input != nil && req.Inputs != nil:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `bad payload: set exactly one of "input" and "inputs"`, Model: name})
+		return http.StatusBadRequest, errorResponse{Error: `bad payload: set exactly one of "input" and "inputs"`, Model: name}
 	case req.Input != nil:
 		x, err := buildSample(req.Input, info)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Model: name})
-			return
+			return http.StatusBadRequest, errorResponse{Error: err.Error(), Model: name}
 		}
 		class, err := g.b.Predict(ctx, name, x)
 		if err != nil {
-			g.writeError(w, name, err)
-			return
+			return g.errorStatus(w, name, err)
 		}
-		writeJSON(w, http.StatusOK, predictResponse{Model: name, Class: &class})
+		return http.StatusOK, predictResponse{Model: name, Class: &class}
 	case req.Inputs != nil:
 		if len(req.Inputs) == 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: `bad payload: "inputs" is empty`, Model: name})
-			return
+			return http.StatusBadRequest, errorResponse{Error: `bad payload: "inputs" is empty`, Model: name}
 		}
 		xs := make([]*tensor.Tensor, len(req.Inputs))
 		for i, in := range req.Inputs {
 			x, err := buildSample(in, info)
 			if err != nil {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("inputs[%d]: %v", i, err), Model: name})
-				return
+				return http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("inputs[%d]: %v", i, err), Model: name}
 			}
 			xs[i] = x
 		}
 		classes, err := g.b.PredictBatch(ctx, name, xs)
 		if err != nil {
-			g.writeError(w, name, err)
-			return
+			return g.errorStatus(w, name, err)
 		}
-		writeJSON(w, http.StatusOK, predictResponse{Model: name, Classes: classes})
+		return http.StatusOK, predictResponse{Model: name, Classes: classes}
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: `bad payload: missing "input" (or "inputs")`, Model: name})
+		return http.StatusBadRequest, errorResponse{Error: `bad payload: missing "input" (or "inputs")`, Model: name}
 	}
 }
 
@@ -242,26 +263,26 @@ func buildSample(in []float64, info fleet.ModelInfo) (*tensor.Tensor, error) {
 	return tensor.FromSlice(data, info.InShape...)
 }
 
-// writeError maps a fleet error onto a status code and JSON body — the
-// error-mapping table in ARCHITECTURE.md. Queue-full rejections carry
-// a Retry-After hint plus the refusing model and cap recovered from
-// the typed *serve.QueueFullError.
-func (g *Gateway) writeError(w http.ResponseWriter, model string, err error) {
+// errorStatus maps a fleet error onto a status code and JSON body —
+// the error-mapping table in ARCHITECTURE.md. Queue-full rejections
+// carry a Retry-After hint plus the refusing model and cap recovered
+// from the typed *serve.QueueFullError.
+func (g *Gateway) errorStatus(w http.ResponseWriter, model string, err error) (int, any) {
 	var qf *serve.QueueFullError
 	switch {
 	case errors.As(err, &qf):
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Model: qf.Model, Cap: qf.Cap})
+		return http.StatusTooManyRequests, errorResponse{Error: err.Error(), Model: qf.Model, Cap: qf.Cap}
 	case errors.Is(err, fleet.ErrUnknownModel):
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), Model: model})
+		return http.StatusNotFound, errorResponse{Error: err.Error(), Model: model}
 	case errors.Is(err, fleet.ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Model: model})
+		return http.StatusServiceUnavailable, errorResponse{Error: err.Error(), Model: model}
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Model: model})
+		return http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Model: model}
 	case errors.Is(err, context.Canceled):
-		writeJSON(w, StatusClientClosedRequest, errorResponse{Error: err.Error(), Model: model})
+		return StatusClientClosedRequest, errorResponse{Error: err.Error(), Model: model}
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Model: model})
+		return http.StatusInternalServerError, errorResponse{Error: err.Error(), Model: model}
 	}
 }
 

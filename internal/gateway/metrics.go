@@ -82,12 +82,21 @@ func WriteMetrics(w io.Writer, st fleet.Stats) error {
 			func(ms fleet.ModelStats) int64 { return ms.Scrubs }},
 		{"milr_model_scrub_failures_total", "Self-heal cycles that returned an engine error.",
 			func(ms fleet.ModelStats) int64 { return ms.ScrubFailures }},
+		{"milr_model_heals_total", "Self-heal cycles whose detection pass flagged errors (actual repairs, not clean verifications).",
+			func(ms fleet.ModelStats) int64 { return ms.Heals }},
 	}
 	for _, c := range counters {
 		mw.family(c.name, c.help, "counter")
 		for _, name := range names {
 			mw.emit("%s{model=%q} %d\n", c.name, escapeLabel(name), c.get(st.Models[name]))
 		}
+	}
+
+	mw.family("milr_model_scrub_seconds_total",
+		"Cumulative wall time spent in completed scrub cycles — the downtime numerator of the paper's Eq. 6 availability model.",
+		"counter")
+	for _, name := range names {
+		mw.emit("milr_model_scrub_seconds_total{model=%q} %s\n", escapeLabel(name), fnum(st.Models[name].ScrubTime.Seconds()))
 	}
 
 	mw.family("milr_model_batch_fill_total", "Batches executed with exactly {size} coalesced requests.", "counter")
@@ -137,5 +146,9 @@ func WriteMetrics(w io.Writer, st fleet.Stats) error {
 	mw.emit("milr_fleet_rejected_total %d\n", st.Rejected)
 	mw.family("milr_fleet_served_total", "Fleet-wide served requests.", "counter")
 	mw.emit("milr_fleet_served_total %d\n", st.Served)
+	mw.family("milr_gemm_calls_total",
+		"Process-wide GEMM kernel invocations (serving batches, scrub probes, recovery sweeps).",
+		"counter")
+	mw.emit("milr_gemm_calls_total %d\n", st.GEMMCalls)
 	return mw.err
 }

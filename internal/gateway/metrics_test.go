@@ -39,7 +39,9 @@ func goldenStats() fleet.Stats {
 		Weight:        3,
 		QueueCap:      8,
 		Scrubs:        5,
+		Heals:         2,
 		ScrubFailures: 1,
+		ScrubTime:     1250 * time.Millisecond,
 	}
 	idle := fleet.ModelStats{
 		Stats:    serve.Stats{BatchFill: []int64{0, 0, 0, 0}},
@@ -57,9 +59,10 @@ func goldenStats() fleet.Stats {
 			"idle":       idle,
 			"od\"d\\one": quoted,
 		},
-		Admitted: 10,
-		Rejected: 2,
-		Served:   7,
+		Admitted:  10,
+		Rejected:  2,
+		Served:    7,
+		GEMMCalls: 420,
 	}
 }
 
@@ -119,5 +122,19 @@ func TestWriteMetricsZeroTraffic(t *testing.T) {
 	}
 	if bytes.Contains(buf.Bytes(), []byte(`milr_model_latency_seconds{model="idle"`)) {
 		t.Errorf("idle model emitted latency quantiles (zero-traffic contract violated):\n%s", out)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("NaN")) || bytes.Contains(buf.Bytes(), []byte("Inf")) {
+		t.Errorf("idle snapshot emitted a non-finite value:\n%s", out)
+	}
+	// Every engine series must exist from the first scrape — at zero,
+	// not absent — so dashboards see the model the moment it registers.
+	for _, series := range []string{
+		`milr_model_heals_total{model="idle"} 0`,
+		`milr_model_scrub_seconds_total{model="idle"} 0`,
+		"milr_gemm_calls_total 0",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(series)) {
+			t.Errorf("idle snapshot missing series %q:\n%s", series, out)
+		}
 	}
 }

@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"milr/internal/obs"
+)
+
+// RequestIDHeader is the request/trace ID header: a client may send its
+// own ID to stitch gateway spans into a wider trace; when it sends none
+// (and tracing is on) the gateway issues one from the tracer's seeded
+// stream. The resolved ID is always echoed back on the response, and
+// /v1/trace reports it as each span's trace field.
+const RequestIDHeader = "X-Milr-Request-Id"
+
+// DefaultTraceSpans is how many spans GET /v1/trace returns when the
+// ?n= parameter is absent.
+const DefaultTraceSpans = 64
+
+// handleTrace answers GET /v1/trace?n=K with the last K completed spans
+// as deterministic JSON (obs.EncodeJSON ordering). 404 when the daemon
+// runs without -trace: the route existing but having no ring is a
+// configuration fact worth distinguishing from an empty trace.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if g.tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing disabled (start the gateway with -trace)"})
+		return
+	}
+	n := DefaultTraceSpans
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad n: want a positive integer"})
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.EncodeJSON(w, g.tracer.Last(n))
+}
+
+// startTrace opens the gateway.request root span for one predict call:
+// it resolves the request ID (client-sent or freshly issued), echoes it
+// on the response, and returns a context carrying the tracer for the
+// layers below. With no tracer configured it returns ctx and a nil span
+// — the zero-overhead path.
+func (g *Gateway) startTrace(ctx context.Context, w http.ResponseWriter, r *http.Request, model string) (context.Context, *obs.Span) {
+	if g.tracer == nil {
+		return ctx, nil
+	}
+	reqID := r.Header.Get(RequestIDHeader)
+	if reqID == "" {
+		reqID = g.tracer.NewRequestID()
+	}
+	w.Header().Set(RequestIDHeader, reqID)
+	ctx, span := obs.Start(obs.WithTracer(ctx, g.tracer, reqID), "gateway.request")
+	span.SetAttr("model", model)
+	return ctx, span
+}
+
+// DebugHandler returns the diagnostics handler daemons mount on a
+// separate -debug-addr listener: net/http/pprof's profile routes under
+// /debug/pprof/. It is deliberately not part of Gateway's public mux —
+// profiling endpoints expose stacks and timings and must never ship on
+// the traffic-facing listener.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,229 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"milr/internal/fleet"
+	"milr/internal/gateway"
+	"milr/internal/obs"
+)
+
+// The trace tests drive the real gateway over a real tiny fleet with a
+// virtual clock and a fixed tracer seed, so the span ring — and the
+// /v1/trace JSON rendered from it — must be byte-identical across
+// replays and worker counts. Sequential clients are the determinism
+// contract's domain: each response commits only after its whole span
+// tree is in the ring.
+
+// tracedSpan mirrors the /v1/trace JSON schema for assertions.
+type tracedSpan struct {
+	Trace   string            `json:"trace"`
+	Span    uint64            `json:"span"`
+	Parent  uint64            `json:"parent"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs"`
+}
+
+// tracedGateway builds a Gateway over a tiny fleet with tracing on a
+// virtual clock, plus the payloads to drive it.
+func tracedGateway(t *testing.T, workers int) (*gateway.Gateway, [][]float64) {
+	t.Helper()
+	f, payloads, _ := tinyFixture(t, fleet.Config{Workers: workers, BatchSize: 4}, fleet.ModelConfig{}, 3)
+	tr := obs.New(obs.Config{Clock: obs.NewVirtualClock(), Seed: 11})
+	return gateway.New(f, gateway.Config{Tracer: tr}), payloads
+}
+
+// traceBody replays a fixed sequential request schedule and returns the
+// /v1/trace response body.
+func traceBody(t *testing.T, workers int) []byte {
+	t.Helper()
+	g, payloads := tracedGateway(t, workers)
+	for _, p := range payloads {
+		rec := doPredict(g, "tiny", predictBody(t, map[string]any{"input": p}), "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict status = %d, body %s", rec.Code, rec.Body.String())
+		}
+	}
+	req := httptest.NewRequest("GET", "/v1/trace?n=256", nil)
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	return rec.Body.Bytes()
+}
+
+// TestTraceSpanTree pins the tentpole acceptance path: one traced
+// request yields a span tree reaching from gateway.request down to at
+// least one tensor.gemm, all sharing the request's trace ID, which is
+// also echoed on the predict response header.
+func TestTraceSpanTree(t *testing.T) {
+	g, payloads := tracedGateway(t, 2)
+	rec := doPredict(g, "tiny", predictBody(t, map[string]any{"input": payloads[0]}), "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	reqID := rec.Header().Get(gateway.RequestIDHeader)
+	if reqID == "" {
+		t.Fatal("predict response carries no " + gateway.RequestIDHeader)
+	}
+
+	treq := httptest.NewRequest("GET", "/v1/trace", nil)
+	trec := httptest.NewRecorder()
+	g.ServeHTTP(trec, treq)
+	var spans []tracedSpan
+	if err := json.Unmarshal(trec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("trace body %q: %v", trec.Body.String(), err)
+	}
+
+	byID := make(map[uint64]tracedSpan, len(spans))
+	var root tracedSpan
+	var gemms []tracedSpan
+	for _, sp := range spans {
+		if sp.Trace != reqID {
+			t.Errorf("span %s has trace %q, want %q", sp.Name, sp.Trace, reqID)
+		}
+		byID[sp.Span] = sp
+		switch sp.Name {
+		case "gateway.request":
+			root = sp
+		case "tensor.gemm":
+			gemms = append(gemms, sp)
+		}
+	}
+	if root.Span == 0 {
+		t.Fatalf("no gateway.request span in %s", trec.Body.String())
+	}
+	if root.Parent != 0 {
+		t.Errorf("gateway.request has parent %d, want none", root.Parent)
+	}
+	if root.Attrs["model"] != "tiny" || root.Attrs["status"] != "200" {
+		t.Errorf("gateway.request attrs = %v, want model=tiny status=200", root.Attrs)
+	}
+	if len(gemms) == 0 {
+		t.Fatalf("no tensor.gemm span in %s", trec.Body.String())
+	}
+	// Walk one gemm's parent chain back to the root: the cross-layer
+	// claim is the chain, not just the shared trace ID.
+	sp, hops := gemms[0], 0
+	for sp.Parent != 0 {
+		parent, ok := byID[sp.Parent]
+		if !ok {
+			t.Fatalf("span %s has dangling parent %d", sp.Name, sp.Parent)
+		}
+		sp, hops = parent, hops+1
+	}
+	if sp.Span != root.Span {
+		t.Errorf("tensor.gemm chain ends at %s, want gateway.request", sp.Name)
+	}
+	if hops < 3 {
+		t.Errorf("tensor.gemm is only %d hops from the root, want the full admit/assemble/forward chain", hops)
+	}
+}
+
+// TestTraceDeterministic demands byte-identical /v1/trace output across
+// replays and across worker counts: under the virtual clock and
+// sequential traffic, scheduling must not leak into the ring.
+func TestTraceDeterministic(t *testing.T) {
+	base := traceBody(t, 1)
+	for _, workers := range []int{1, 4} {
+		for run := 0; run < 2; run++ {
+			got := traceBody(t, workers)
+			if !bytes.Equal(got, base) {
+				t.Fatalf("trace diverged (workers=%d run=%d):\n--- got ---\n%s\n--- want ---\n%s",
+					workers, run, got, base)
+			}
+		}
+	}
+}
+
+// TestTraceRequestIDPropagation pins the header contract: a client-sent
+// X-Milr-Request-Id becomes the trace ID and is echoed back.
+func TestTraceRequestIDPropagation(t *testing.T) {
+	g, payloads := tracedGateway(t, 2)
+	req := httptest.NewRequest("POST", "/v1/models/tiny/predict",
+		bytes.NewReader([]byte(predictBody(t, map[string]any{"input": payloads[0]}))))
+	req.Header.Set(gateway.RequestIDHeader, "client-trace-7")
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(gateway.RequestIDHeader); got != "client-trace-7" {
+		t.Errorf("echoed request ID = %q, want client-trace-7", got)
+	}
+	trec := httptest.NewRecorder()
+	g.ServeHTTP(trec, httptest.NewRequest("GET", "/v1/trace", nil))
+	var spans []tracedSpan
+	if err := json.Unmarshal(trec.Body.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, sp := range spans {
+		if sp.Trace != "client-trace-7" {
+			t.Errorf("span %s has trace %q, want client-trace-7", sp.Name, sp.Trace)
+		}
+	}
+}
+
+// TestTraceDisabled pins the off state: /v1/trace answers 404 with a
+// JSON error, and predict responses carry no request-ID header.
+func TestTraceDisabled(t *testing.T) {
+	g, payloads, _ := gatewayOverTiny(t)
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("trace status = %d, want 404", rec.Code)
+	}
+	var resp struct {
+		Error string `json:"error"`
+	}
+	decodeJSON(t, rec, &resp)
+	if resp.Error == "" {
+		t.Errorf("404 body %q carries no error", rec.Body.String())
+	}
+	prec := doPredict(g, "tiny", predictBody(t, map[string]any{"input": payloads[0]}), "")
+	if prec.Code != http.StatusOK {
+		t.Fatalf("predict status = %d", prec.Code)
+	}
+	if got := prec.Header().Get(gateway.RequestIDHeader); got != "" {
+		t.Errorf("untraced predict echoed request ID %q, want none", got)
+	}
+}
+
+// TestTraceBadN pins the query validation: a malformed or non-positive
+// n is a 400, not a silent default.
+func TestTraceBadN(t *testing.T) {
+	g, _ := tracedGateway(t, 1)
+	for _, n := range []string{"0", "-3", "many"} {
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace?n="+n, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("n=%s: status = %d, want 400", n, rec.Code)
+		}
+	}
+}
+
+// TestDebugHandler pins the diagnostics mux: the pprof index answers on
+// the debug handler, and the public gateway mux does not serve it.
+func TestDebugHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	gateway.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("debug pprof index status = %d, want 200", rec.Code)
+	}
+	g, _, _ := gatewayOverTiny(t)
+	prec := httptest.NewRecorder()
+	g.ServeHTTP(prec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if prec.Code != http.StatusNotFound {
+		t.Errorf("public mux served /debug/pprof/ with %d, want 404", prec.Code)
+	}
+}

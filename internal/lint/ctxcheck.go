@@ -12,6 +12,7 @@ var ctxDirs = []string{
 	"internal/core",
 	"internal/fleet",
 	"internal/gateway",
+	"internal/obs",
 	"internal/serve",
 }
 

@@ -22,6 +22,7 @@ var detrandDirs = []string{
 	"internal/faults",
 	"internal/linalg",
 	"internal/nn",
+	"internal/obs",
 	"internal/prng",
 	"internal/soak",
 	"internal/tensor",

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"milr/internal/obs"
 	"milr/internal/tensor"
 )
 
@@ -149,6 +150,15 @@ func (d *Dense) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 // matrix product; every other layer is applied per sample. The outputs
 // are bit-identical to per-sample Forward calls in the input order.
 func (m *Model) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return m.ForwardBatchContext(context.Background(), xs)
+}
+
+// ForwardBatchContext is ForwardBatch with observability: when ctx
+// carries an obs.Tracer, every GEMM layer's stacked product is recorded
+// as a tensor.gemm span (layer name, index, batch size). The numeric
+// path is identical to ForwardBatch — the context is consulted only for
+// tracing, never for cancellation, so a batch always completes whole.
+func (m *Model) ForwardBatchContext(ctx context.Context, xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("nn: empty batch")
 	}
@@ -156,7 +166,12 @@ func (m *Model) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	copy(cur, xs)
 	for i, l := range m.layers {
 		if bc, ok := l.(BatchCapable); ok {
+			_, sp := obs.Start(ctx, "tensor.gemm")
+			sp.SetAttr("layer", l.Name())
+			sp.SetInt("index", i)
+			sp.SetInt("batch", len(cur))
 			next, err := bc.ForwardBatch(cur)
+			sp.End()
 			if err != nil {
 				return nil, fmt.Errorf("nn: layer %d (%s): %w", i, l.Name(), err)
 			}
@@ -177,7 +192,14 @@ func (m *Model) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 // PredictBatch returns the argmax class of every sample in the batch,
 // computed through the batched forward path.
 func (m *Model) PredictBatch(xs []*tensor.Tensor) ([]int, error) {
-	outs, err := m.ForwardBatch(xs)
+	return m.PredictBatchContext(context.Background(), xs)
+}
+
+// PredictBatchContext is PredictBatch through ForwardBatchContext: the
+// span-traced batched forward path. See ForwardBatchContext for the
+// tracing-only context contract.
+func (m *Model) PredictBatchContext(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
+	outs, err := m.ForwardBatchContext(ctx, xs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies span timestamps. Daemons use WallClock; deterministic
+// tests use a VirtualClock they advance by hand, which makes trace
+// output byte-identical across runs and worker counts.
+type Clock interface {
+	// Now returns the current time of this clock.
+	Now() time.Time
+}
+
+// WallClock reads the system clock (which in Go carries the monotonic
+// reading, so span durations are immune to wall-clock steps). It is the
+// default clock of New.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// virtualEpoch is where every VirtualClock starts: a fixed instant, so
+// two runs under virtual time stamp identical spans.
+var virtualEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// VirtualClock is a manually advanced clock for deterministic tests: it
+// starts at a fixed epoch and moves only when Advance is called. Safe
+// for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a VirtualClock at the fixed epoch.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: virtualEpoch}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative or zero durations are
+// ignored — virtual time never runs backwards.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

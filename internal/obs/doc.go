@@ -1,0 +1,29 @@
+// Package obs is the repository's zero-dependency tracing and
+// telemetry layer: context-carried spans from the HTTP gateway down to
+// the GEMM kernels, recorded into a bounded in-memory ring and rendered
+// as deterministic JSON (the gateway's /v1/trace route) or an indented
+// text timeline (the -trace flag of the cmds).
+//
+// The design constraints come from the rest of the tree:
+//
+//   - Deterministic. Time comes from an injectable Clock — a monotonic
+//     wall clock in daemons, a manually advanced VirtualClock in tests —
+//     and request IDs come from a seeded internal/prng stream, so the
+//     same traffic under the virtual clock produces byte-identical
+//     trace output (the detrand discipline, extended to observability).
+//   - Near-zero overhead when off. A context without a tracer makes
+//     Start return a nil *Span after one context lookup and no
+//     allocations; every Span method is nil-safe, so instrumented code
+//     carries no conditionals. BenchmarkTracerOverhead pins the cost.
+//   - Bounded. Completed spans land in a fixed-capacity ring under one
+//     mutex (record is a copy plus two index updates), so a tracer can
+//     run in a daemon forever without growing.
+//
+// The span hierarchy mirrors the serving path: gateway.request →
+// fleet.admit → fleet.queue_wait → serve.batch_assemble →
+// nn.forward_batch → per-layer tensor.gemm, with engine phases
+// (core.selfheal → core.detect / core.recover) nesting under
+// fleet.scrub when the fleet guard triggers them. Parent links are
+// carried through contexts, so the tree falls out of the existing call
+// structure.
+package obs

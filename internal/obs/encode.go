@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// spanJSON is the wire shape of one SpanRecord: fixed field order,
+// microsecond timestamps, attrs as a JSON object (encoding/json sorts
+// its keys), so the same records always encode to the same bytes.
+type spanJSON struct {
+	Trace   string            `json:"trace"`
+	Span    uint64            `json:"span"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// EncodeJSON writes spans as a deterministic JSON array — the payload
+// of the gateway's /v1/trace route. Identical records produce identical
+// bytes, which is what the trace determinism tests compare.
+func EncodeJSON(w io.Writer, spans []SpanRecord) error {
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		var attrs map[string]string
+		if len(s.Attrs) > 0 {
+			attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				attrs[a.Key] = a.Value
+			}
+		}
+		out[i] = spanJSON{
+			Trace:   s.Trace,
+			Span:    s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			StartUS: s.Start.UnixMicro(),
+			DurUS:   s.Duration().Microseconds(),
+			Attrs:   attrs,
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// WriteTimeline renders spans as an indented per-trace text timeline —
+// what the cmds dump under -trace. Spans are grouped by trace in order
+// of first appearance and listed by span ID (start order) with their
+// depth in the parent chain as indentation, offset from the trace's
+// first span, duration, and attrs.
+func WriteTimeline(w io.Writer, spans []SpanRecord) error {
+	byTrace := map[string][]SpanRecord{}
+	var order []string
+	for _, s := range spans {
+		if _, seen := byTrace[s.Trace]; !seen {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	for _, tr := range order {
+		ss := byTrace[tr]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].ID < ss[j].ID })
+		depth := map[uint64]int{}
+		t0 := ss[0].Start
+		for _, s := range ss {
+			if s.Start.Before(t0) {
+				t0 = s.Start
+			}
+		}
+		name := tr
+		if name == "" {
+			name = "-"
+		}
+		if _, err := fmt.Fprintf(w, "trace %s (%d spans)\n", name, len(ss)); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			d := 0
+			if pd, ok := depth[s.Parent]; ok {
+				d = pd + 1
+			}
+			depth[s.ID] = d
+			line := fmt.Sprintf("%s%s", strings.Repeat("  ", d+1), s.Name)
+			if pad := 46 - len(line); pad > 0 {
+				line += strings.Repeat(" ", pad)
+			}
+			line += fmt.Sprintf(" +%-10v %v", s.Start.Sub(t0), s.Duration())
+			for _, a := range s.Attrs {
+				line += fmt.Sprintf("  %s=%s", a.Key, a.Value)
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"milr/internal/obs"
+)
+
+// TestDisabledTracerNoOp pins the off path: a context without a tracer
+// yields the same context back, a nil span, zero allocations, and every
+// nil-span method is a harmless no-op.
+func TestDisabledTracerNoOp(t *testing.T) {
+	ctx := context.Background()
+	got, sp := obs.Start(ctx, "anything")
+	if got != ctx {
+		t.Fatalf("Start without tracer returned a new context")
+	}
+	if sp != nil {
+		t.Fatalf("Start without tracer returned a non-nil span")
+	}
+	// These must not panic.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.End()
+	sp.End()
+	if obs.FromContext(ctx) != nil {
+		t.Fatalf("FromContext without tracer returned a tracer")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, s := obs.Start(ctx, "hot")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Start+End allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestSpanTreeAndAttrs walks a parent/child chain through contexts and
+// checks the recorded links, names, attrs and virtual timestamps.
+func TestSpanTreeAndAttrs(t *testing.T) {
+	clk := obs.NewVirtualClock()
+	tr := obs.New(obs.Config{Clock: clk, Capacity: 16, Seed: 7})
+	ctx := obs.WithTracer(context.Background(), tr, "req-1")
+	if obs.FromContext(ctx) != tr {
+		t.Fatalf("FromContext did not return the installed tracer")
+	}
+
+	ctx, root := obs.Start(ctx, "gateway.request")
+	root.SetAttr("model", "tiny")
+	clk.Advance(time.Millisecond)
+	cctx, child := obs.Start(ctx, "fleet.admit")
+	clk.Advance(2 * time.Millisecond)
+	_, grand := obs.Start(cctx, "fleet.queue_wait")
+	grand.End()
+	child.SetInt("fill", 3)
+	child.End()
+	root.End()
+
+	spans := tr.Last(10)
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	// Completion order: grand, child, root.
+	g, c, r := spans[0], spans[1], spans[2]
+	if g.Name != "fleet.queue_wait" || c.Name != "fleet.admit" || r.Name != "gateway.request" {
+		t.Fatalf("unexpected completion order: %s, %s, %s", g.Name, c.Name, r.Name)
+	}
+	if g.Parent != c.ID || c.Parent != r.ID || r.Parent != 0 {
+		t.Fatalf("broken parent chain: grand.Parent=%d child.ID=%d child.Parent=%d root.ID=%d root.Parent=%d",
+			g.Parent, c.ID, c.Parent, r.ID, r.Parent)
+	}
+	for _, s := range spans {
+		if s.Trace != "req-1" {
+			t.Fatalf("span %s carries trace %q, want req-1", s.Name, s.Trace)
+		}
+	}
+	if len(r.Attrs) != 1 || r.Attrs[0].Key != "model" || r.Attrs[0].Value != "tiny" {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Value != "3" {
+		t.Fatalf("child attrs = %v", c.Attrs)
+	}
+	if d := r.Duration(); d != 3*time.Millisecond {
+		t.Fatalf("root duration %v, want 3ms of virtual time", d)
+	}
+	if d := c.Duration(); d != 2*time.Millisecond {
+		t.Fatalf("child duration %v, want 2ms of virtual time", d)
+	}
+	if tr.Completed() != 3 {
+		t.Fatalf("Completed() = %d, want 3", tr.Completed())
+	}
+}
+
+// TestRingBounded overflows a small ring and checks only the most
+// recent spans survive, in completion order.
+func TestRingBounded(t *testing.T) {
+	tr := obs.New(obs.Config{Clock: obs.NewVirtualClock(), Capacity: 4})
+	ctx := obs.WithTracer(context.Background(), tr, "ring")
+	for i := 0; i < 10; i++ {
+		_, sp := obs.Start(ctx, "op")
+		sp.SetInt("i", i)
+		sp.End()
+	}
+	if got := tr.Completed(); got != 10 {
+		t.Fatalf("Completed() = %d, want 10", got)
+	}
+	spans := tr.Last(100)
+	if len(spans) != 4 {
+		t.Fatalf("Last returned %d spans from a capacity-4 ring, want 4", len(spans))
+	}
+	for i, s := range spans {
+		want := 6 + i // spans 6..9 survive
+		if s.Attrs[0].Value != string(rune('0'+want)) {
+			t.Fatalf("survivor %d is span i=%s, want %d", i, s.Attrs[0].Value, want)
+		}
+	}
+	if got := tr.Last(2); len(got) != 2 || got[1].Attrs[0].Value != "9" {
+		t.Fatalf("Last(2) = %v", got)
+	}
+}
+
+// TestDoubleEndRecordsOnce checks End idempotency.
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := obs.New(obs.Config{Clock: obs.NewVirtualClock(), Capacity: 4})
+	_, sp := obs.Start(obs.WithTracer(context.Background(), tr, ""), "once")
+	sp.End()
+	sp.End()
+	if got := tr.Completed(); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+// TestRequestIDsDeterministic pins the seeded ID stream: same seed,
+// same IDs; different seed, different IDs.
+func TestRequestIDsDeterministic(t *testing.T) {
+	a := obs.New(obs.Config{Seed: 42})
+	b := obs.New(obs.Config{Seed: 42})
+	c := obs.New(obs.Config{Seed: 43})
+	var diverged bool
+	for i := 0; i < 8; i++ {
+		ida, idb, idc := a.NewRequestID(), b.NewRequestID(), c.NewRequestID()
+		if ida != idb {
+			t.Fatalf("same-seed tracers diverged at draw %d: %q vs %q", i, ida, idb)
+		}
+		if len(ida) != 16 {
+			t.Fatalf("request ID %q is not 16 hex digits", ida)
+		}
+		if ida != idc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatalf("different seeds issued identical ID streams")
+	}
+}
+
+// TestEncodeJSONDeterministic replays the same span sequence on two
+// tracers under virtual clocks and requires byte-identical JSON and
+// timelines.
+func TestEncodeJSONDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		clk := obs.NewVirtualClock()
+		tr := obs.New(obs.Config{Clock: clk, Capacity: 16, Seed: 3})
+		ctx := obs.WithTracer(context.Background(), tr, tr.NewRequestID())
+		ctx, root := obs.Start(ctx, "gateway.request")
+		root.SetAttr("model", "tiny")
+		clk.Advance(500 * time.Microsecond)
+		_, gemm := obs.Start(ctx, "tensor.gemm")
+		gemm.SetInt("layer", 0)
+		clk.Advance(250 * time.Microsecond)
+		gemm.End()
+		root.End()
+		var js, tl bytes.Buffer
+		if err := obs.EncodeJSON(&js, tr.Last(10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteTimeline(&tl, tr.Last(10)); err != nil {
+			t.Fatal(err)
+		}
+		return js.String(), tl.String()
+	}
+	js1, tl1 := render()
+	js2, tl2 := render()
+	if js1 != js2 {
+		t.Fatalf("JSON not byte-identical across replays:\n%s\nvs\n%s", js1, js2)
+	}
+	if tl1 != tl2 {
+		t.Fatalf("timeline not byte-identical across replays:\n%s\nvs\n%s", tl1, tl2)
+	}
+	for _, want := range []string{`"name":"gateway.request"`, `"name":"tensor.gemm"`, `"dur_us":750`} {
+		if !strings.Contains(js1, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, js1)
+		}
+	}
+	for _, want := range []string{"gateway.request", "tensor.gemm", "layer=0"} {
+		if !strings.Contains(tl1, want) {
+			t.Fatalf("timeline missing %s:\n%s", want, tl1)
+		}
+	}
+}
+
+// TestEncodeJSONEmpty pins the no-spans payload: an empty array, not
+// null.
+func TestEncodeJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.EncodeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty trace encodes as %q, want []", got)
+	}
+}
+
+// TestTracerConcurrentUse exercises the ring and ID stream from many
+// goroutines; the -race runs of CI make this a data-race probe.
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := obs.New(obs.Config{Capacity: 64, Seed: 5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := obs.WithTracer(context.Background(), tr, tr.NewRequestID())
+			for i := 0; i < 50; i++ {
+				sctx, sp := obs.Start(ctx, "op")
+				_, inner := obs.Start(sctx, "inner")
+				inner.SetInt("i", i)
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Completed(); got != 8*50*2 {
+		t.Fatalf("Completed() = %d, want %d", got, 8*50*2)
+	}
+	if spans := tr.Last(64); len(spans) != 64 {
+		t.Fatalf("full ring returned %d spans, want 64", len(spans))
+	}
+}
+
+// BenchmarkStartDisabled measures the per-call cost of the disabled
+// path in isolation (the serving hot path pays this per instrumented
+// site when tracing is off).
+func BenchmarkStartDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "hot")
+		sp.End()
+	}
+}
+
+// BenchmarkStartEnabled measures span creation and recording with the
+// tracer on (wall clock, bounded ring).
+func BenchmarkStartEnabled(b *testing.B) {
+	tr := obs.New(obs.Config{Capacity: 1024})
+	ctx := obs.WithTracer(context.Background(), tr, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.Start(ctx, "hot")
+		sp.End()
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (model name, batch fill,
+// GEMM count, ...). Attrs keep their SetAttr order in SpanRecord, which
+// is deterministic because each span is annotated by one goroutine.
+type Attr struct {
+	// Key names the annotation.
+	Key string
+	// Value is the annotation's rendered value.
+	Value string
+}
+
+// Span is one in-flight named operation. Obtain one from Start; call
+// End exactly once to record it (later Ends are ignored). A nil *Span —
+// what Start returns when the context carries no tracer — accepts every
+// method as a no-op, so instrumented code never branches on whether
+// tracing is enabled.
+type Span struct {
+	tracer *Tracer
+	name   string
+	trace  string
+	id     uint64
+	parent uint64
+	start  time.Time
+
+	// mu guards attrs and ended: a span may be annotated by the
+	// admitting goroutine and ended by the dispatcher (the queue-wait
+	// spans), with the queue lock ordering the hand-off.
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SetAttr annotates the span; a no-op on nil or ended spans.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value; a no-op on nil or
+// ended spans.
+func (s *Span) SetInt(key string, v int) {
+	s.SetAttr(key, strconv.Itoa(v))
+}
+
+// End stamps the span's end time and records it into the tracer's
+// ring. Only the first End counts; nil spans ignore it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tracer.record(SpanRecord{
+		Trace:  s.trace,
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		End:    s.tracer.now(),
+		Attrs:  attrs,
+	})
+}
+
+// SpanRecord is one completed span as stored in the tracer's ring and
+// rendered by EncodeJSON / WriteTimeline.
+type SpanRecord struct {
+	// Trace is the request/trace ID the span belongs to.
+	Trace string
+	// ID is the span's process-unique identifier (start order).
+	ID uint64
+	// Parent is the enclosing span's ID, 0 for a root span.
+	Parent uint64
+	// Name is the span's operation name (e.g. "gateway.request").
+	Name string
+	// Start and End are the span's clock stamps.
+	Start, End time.Time
+	// Attrs are the span's annotations in SetAttr order.
+	Attrs []Attr
+}
+
+// Duration returns the span's recorded duration.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }

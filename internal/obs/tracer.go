@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"milr/internal/prng"
+)
+
+// DefaultCapacity is the span-ring capacity Config.Capacity defaults
+// to: enough to hold the full span trees of several hundred requests.
+const DefaultCapacity = 4096
+
+// Config configures New. The zero value is usable: wall clock, default
+// capacity, seed 1 for request IDs.
+type Config struct {
+	// Clock stamps span start/end times; nil means WallClock. Tests
+	// inject a VirtualClock for byte-identical trace output.
+	Clock Clock
+	// Capacity bounds the completed-span ring; values below 1 mean
+	// DefaultCapacity. Once full, the oldest spans are overwritten.
+	Capacity int
+	// Seed seeds the request-ID stream (NewRequestID). The same seed
+	// issues the same ID sequence — the detrand discipline.
+	Seed uint64
+}
+
+// Tracer records completed spans into a bounded ring. Build one with
+// New, hand it to the instrumented layers via WithTracer, and read the
+// ring back with Last. Safe for concurrent use; a nil *Tracer is a
+// valid no-op (WithTracer ignores it).
+type Tracer struct {
+	clock Clock
+
+	// ids issues span IDs; atomically incremented so Start never takes
+	// the ring mutex.
+	ids atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int    // ring write cursor
+	total uint64 // completed spans ever recorded
+
+	reqMu sync.Mutex
+	req   *prng.Stream
+}
+
+// New builds a Tracer from cfg.
+func New(cfg Config) *Tracer {
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock{}
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Tracer{
+		clock: cfg.Clock,
+		ring:  make([]SpanRecord, 0, cfg.Capacity),
+		req:   prng.New(cfg.Seed),
+	}
+}
+
+// NewRequestID issues the next request/trace ID from the tracer's
+// seeded stream: 16 lowercase hex digits, the shape the gateway puts in
+// X-Milr-Request-Id when the client sent none.
+func (t *Tracer) NewRequestID() string {
+	t.reqMu.Lock()
+	defer t.reqMu.Unlock()
+	return fmt.Sprintf("%016x", t.req.Uint64())
+}
+
+// Completed returns how many spans have ever been recorded, including
+// ones the ring has since overwritten.
+func (t *Tracer) Completed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Last returns up to n most recent completed spans in completion order
+// (oldest first). It copies the records, so the caller may hold them
+// across further tracing.
+func (t *Tracer) Last(n int) []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	stored := len(t.ring)
+	if n > stored {
+		n = stored
+	}
+	if n <= 0 {
+		return []SpanRecord{}
+	}
+	out := make([]SpanRecord, 0, n)
+	// Completion order: when the ring has wrapped, the oldest record
+	// sits at the write cursor; before that, at index 0.
+	start := 0
+	if stored == cap(t.ring) {
+		start = t.next
+	}
+	for i := stored - n; i < stored; i++ {
+		out = append(out, t.ring[(start+i)%stored])
+	}
+	return out
+}
+
+// record appends one completed span to the ring, overwriting the
+// oldest once at capacity.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+		t.next = len(t.ring) % cap(t.ring)
+	} else {
+		t.ring[t.next] = rec
+		t.next = (t.next + 1) % len(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// now reads the tracer's clock.
+func (t *Tracer) now() time.Time { return t.clock.Now() }
+
+// ctxKey carries the tracing state in a context.
+type ctxKey struct{}
+
+// ctxVal is the per-context tracing state: the tracer, the request's
+// trace ID, and the current span (the parent of the next Start).
+type ctxVal struct {
+	t     *Tracer
+	trace string
+	span  uint64
+}
+
+// WithTracer returns a context carrying t and traceID as the trace
+// identity for every span started under it. A nil t returns ctx
+// unchanged, so callers can thread an optional tracer without
+// branching.
+func WithTracer(ctx context.Context, t *Tracer, traceID string) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: t, trace: traceID})
+}
+
+// FromContext returns the tracer carried by ctx, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	v, _ := ctx.Value(ctxKey{}).(ctxVal)
+	return v.t
+}
+
+// Start begins a span named name under ctx's current span and returns
+// a context carrying the new span as parent for nested Starts. When
+// ctx carries no tracer it returns (ctx, nil) after a single context
+// lookup and no allocations — the disabled path every hot-path call
+// site takes; the nil *Span accepts SetAttr/SetInt/End as no-ops.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	v, ok := ctx.Value(ctxKey{}).(ctxVal)
+	if !ok {
+		return ctx, nil
+	}
+	sp := &Span{
+		tracer: v.t,
+		name:   name,
+		trace:  v.trace,
+		parent: v.span,
+		id:     v.t.ids.Add(1),
+		start:  v.t.now(),
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{t: v.t, trace: v.trace, span: sp.id}), sp
+}

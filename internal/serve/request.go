@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"milr/internal/nn"
+	"milr/internal/obs"
 	"milr/internal/tensor"
 )
 
@@ -27,6 +28,12 @@ type Request struct {
 	// done receives exactly one result. Buffered so the executor never
 	// blocks on a caller that abandoned the request.
 	done chan result
+	// wait is the request's queue-wait span (admission to batch pickup),
+	// attached by the admitting dispatcher via SetWaitSpan and ended by
+	// whoever resolves the wait: ExecuteBatch (batched or expired) or
+	// unqueue (abandoned). The queue lock orders the hand-off between
+	// those goroutines. Nil when tracing is off.
+	wait *obs.Span
 }
 
 type result struct {
@@ -43,6 +50,23 @@ func NewRequest(ctx context.Context, x *tensor.Tensor) *Request {
 // EnqueuedAt returns the admission timestamp — what a dispatcher's
 // coalescing window (MaxDelay) is measured against.
 func (r *Request) EnqueuedAt() time.Time { return r.enq }
+
+// SetWaitSpan attaches the request's queue-wait span. Dispatchers call
+// it at admission, before the request becomes visible to their batch
+// loop; the span is ended exactly once by EndWait.
+func (r *Request) SetWaitSpan(s *obs.Span) { r.wait = s }
+
+// EndWait ends the request's queue-wait span, recording how the wait
+// resolved ("batched", "expired" or "unqueued"). Safe to call when no
+// span is attached; only the first call counts.
+func (r *Request) EndWait(outcome string) {
+	if r.wait == nil {
+		return
+	}
+	r.wait.SetAttr("outcome", outcome)
+	r.wait.End()
+	r.wait = nil
+}
 
 // Await blocks until the request is answered or ctx is done, whichever
 // comes first; an abandoned request is answered into its buffered
@@ -64,15 +88,25 @@ func (r *Request) Await(ctx context.Context) (int, error) {
 // serving surface in batch-failure errors (e.g. `serve: batch` or
 // `fleet: model "mnist" batch`).
 func ExecuteBatch(m *nn.Model, gate func(func()), batch []*Request, c *Collector, errPrefix string) {
+	// Batch-level spans parent under the first request's queue-wait
+	// chain: a coalesced batch belongs to one trace tree even though it
+	// answers many requests. With tracing off this is a nil span and a
+	// single context lookup.
+	actx, asm := obs.Start(batch[0].ctx, "serve.batch_assemble")
 	live := batch[:0]
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
+			r.EndWait("expired")
 			r.done <- result{err: err}
 			c.Cancel()
 			continue
 		}
+		r.EndWait("batched")
 		live = append(live, r)
 	}
+	asm.SetInt("fill", len(live))
+	asm.SetInt("dropped", len(batch)-len(live))
+	asm.End()
 	if len(live) == 0 {
 		return
 	}
@@ -80,14 +114,26 @@ func ExecuteBatch(m *nn.Model, gate func(func()), batch []*Request, c *Collector
 	for i, r := range live {
 		xs[i] = r.x
 	}
+	fctx, fwd := obs.Start(actx, "nn.forward_batch")
+	fwd.SetInt("batch", len(live))
+	g0 := tensor.GEMMCalls()
 	var preds []int
 	var err error
-	runBatch := func() { preds, err = m.PredictBatch(xs) }
+	runBatch := func() { preds, err = m.PredictBatchContext(fctx, xs) }
 	if gate != nil {
 		gate(runBatch)
 	} else {
 		runBatch()
 	}
+	// gemms is the process-wide kernel-counter delta across this batch:
+	// exact under sequential traffic, approximate when other models'
+	// batches run concurrently. The forward span — and with it every
+	// tensor.gemm child — must land in the ring before any request is
+	// answered: a caller's enclosing span (gateway.request) ends right
+	// after Await returns, and the ring must always order a batch's
+	// spans before them for byte-identical replays.
+	fwd.SetInt("gemms", int(tensor.GEMMCalls()-g0))
+	fwd.End()
 	now := time.Now()
 	if err != nil {
 		err = fmt.Errorf("%s of %d failed: %w", errPrefix, len(live), err)

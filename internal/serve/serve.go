@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"milr/internal/nn"
+	"milr/internal/obs"
 	"milr/internal/tensor"
 )
 
@@ -232,9 +233,15 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	r := NewRequest(ctx, x)
+	// Admission span. Outcomes end it explicitly (not deferred): the
+	// success path must record it while still holding s.mu — before the
+	// dispatcher can see the request — so the ring always orders the
+	// admit span ahead of everything the request's batch records.
+	actx, admit := obs.Start(ctx, "serve.admit")
 	s.mu.Lock()
 	if s.closed {
+		admit.SetAttr("outcome", "closed")
+		admit.End()
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
@@ -242,14 +249,21 @@ func (s *Server) enqueue(ctx context.Context, x *tensor.Tensor) (*Request, error
 		// Counted before unlocking for the same snapshot-consistency
 		// reason as Admit below.
 		s.stats.Reject()
+		admit.SetAttr("outcome", "queue_full")
+		admit.End()
 		s.mu.Unlock()
 		return nil, &QueueFullError{Surface: "serve", Cap: s.queueCap}
 	}
+	wctx, wait := obs.Start(actx, "serve.queue_wait")
+	r := NewRequest(wctx, x)
+	r.SetWaitSpan(wait)
 	s.pending = append(s.pending, r)
 	// Counted before the request becomes visible to the dispatcher, so
 	// a Stats snapshot can never show Served > Admitted or a negative
 	// QueueDepth. The collector's mutex is a leaf lock.
 	s.stats.Admit()
+	admit.SetInt("queued", len(s.pending))
+	admit.End()
 	s.mu.Unlock()
 	s.wake()
 	return r, nil
@@ -273,6 +287,7 @@ func (s *Server) unqueue(reqs []*Request) {
 	kept := s.pending[:0]
 	for _, r := range s.pending {
 		if drop[r] {
+			r.EndWait("unqueued")
 			removed++
 			continue
 		}

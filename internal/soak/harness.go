@@ -9,6 +9,7 @@ import (
 	"milr/internal/core"
 	"milr/internal/faults"
 	"milr/internal/fleet"
+	"milr/internal/obs"
 	"milr/internal/tensor"
 )
 
@@ -150,12 +151,21 @@ func Run(ctx context.Context, cfg Config, sc Scenario, targets []*Target) (*Repo
 		winStart := time.Now()
 		wm := WindowMetrics{Window: w, Phase: phaseOf[w]}
 
+		// Window span: when the caller threaded an obs.Tracer through
+		// ctx (the -trace flag of cmd/milr-soak), every injection, scrub
+		// and request of this window nests under one soak.window span —
+		// which ties the report's per-window Td/Tr story directly to the
+		// observed span timeline. With no tracer all of this is no-ops.
+		wctx, wspan := obs.Start(ctx, "soak.window")
+		wspan.SetInt("window", w)
+		wspan.SetAttr("phase", phaseOf[w])
+
 		// 1. Injection: this window's events, each under its target's
 		// Sync gate with its own derived injector stream.
 		for _, ei := range byWindow[w] {
 			ev := &events[ei]
 			tg := targets[index[ev.Model]]
-			applyEvent(ev, tg, sc)
+			applyEvent(wctx, ev, tg, sc)
 			applied = ei + 1
 			wm.Injections++
 			wm.Corrupted += ev.Corrupted
@@ -176,7 +186,7 @@ func Run(ctx context.Context, cfg Config, sc Scenario, targets []*Target) (*Repo
 			scrubCh = make(chan scrubOutcome, 1)
 			doScrub := func() {
 				s0 := time.Now()
-				_, res, err := fl.ScrubOnce(ctx)
+				_, res, err := fl.ScrubOnce(wctx)
 				scrubCh <- scrubOutcome{res: res, dur: time.Since(s0), err: err}
 			}
 			if cfg.Overlap {
@@ -194,7 +204,7 @@ func Run(ctx context.Context, cfg Config, sc Scenario, targets []*Target) (*Repo
 				arrivalCursor[mi]++
 			}
 		}
-		counts, err := issueWindow(ctx, fl, targets, reqs)
+		counts, err := issueWindow(wctx, fl, targets, reqs)
 		if err != nil {
 			return nil, fmt.Errorf("soak: window %d: %w", w, err)
 		}
@@ -229,6 +239,10 @@ func Run(ctx context.Context, cfg Config, sc Scenario, targets []*Target) (*Repo
 			}
 		}
 		wm.Elapsed = time.Since(winStart)
+		wspan.SetInt("issued", wm.Issued)
+		wspan.SetInt("injections", wm.Injections)
+		wspan.SetInt("scrubs", wm.Scrubs)
+		wspan.End()
 		rep.PerWindow = append(rep.PerWindow, wm)
 		rep.Windows++
 	}
@@ -266,8 +280,16 @@ func Run(ctx context.Context, cfg Config, sc Scenario, targets []*Target) (*Repo
 }
 
 // applyEvent runs one injection event inside the target's Sync gate and
-// records what it corrupted.
-func applyEvent(ev *Event, tg *Target, sc Scenario) {
+// records what it corrupted. The context is consulted only for tracing
+// (the soak.inject span); injections are never cancelled mid-event.
+func applyEvent(ctx context.Context, ev *Event, tg *Target, sc Scenario) {
+	_, span := obs.Start(ctx, "soak.inject")
+	span.SetAttr("model", ev.Model)
+	span.SetAttr("kind", ev.Kind.String())
+	defer func() {
+		span.SetInt("corrupted", ev.Corrupted)
+		span.End()
+	}()
 	inj := faults.New(ev.Seed)
 	m := tg.Protector.Model()
 	ph := phaseByName(sc, ev.Phase)

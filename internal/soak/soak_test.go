@@ -7,6 +7,7 @@ import (
 
 	"milr/internal/core"
 	"milr/internal/nn"
+	"milr/internal/obs"
 	"milr/internal/prng"
 	"milr/internal/soak"
 	"milr/internal/tensor"
@@ -367,6 +368,36 @@ func TestChaosSoakRace(t *testing.T) {
 	if rep.Issued != rep.Correct+rep.Wrong+rep.Rejected+rep.Expired {
 		t.Fatalf("traffic accounting broken under overlap: %d issued != %d+%d+%d+%d",
 			rep.Issued, rep.Correct, rep.Wrong, rep.Rejected, rep.Expired)
+	}
+}
+
+// TestChaosSoakTraceRace turns tracing on for an overlapped campaign:
+// scrub, window and per-request spans record into one shared ring while
+// scrubs race the swarm — the tracer's concurrency exercise under the
+// race detector. Overlap waives replay, so only span accounting is
+// asserted.
+func TestChaosSoakTraceRace(t *testing.T) {
+	sc := testScenario()
+	tracer := obs.New(obs.Config{Seed: 5})
+	ctx := obs.WithTracer(context.Background(), tracer, "soak-race")
+	rep, err := soak.Run(ctx, soak.Config{Seed: 5, Workers: 4, BatchSize: 4, Overlap: true}, sc, soakTargets(t, 2))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Issued == 0 || rep.Scrubs == 0 {
+		t.Fatalf("traced campaign idle: issued=%d scrubs=%d", rep.Issued, rep.Scrubs)
+	}
+	if tracer.Completed() == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	names := map[string]bool{}
+	for _, sp := range tracer.Last(int(tracer.Completed())) {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"soak.window", "fleet.scrub", "fleet.admit", "nn.forward_batch", "tensor.gemm"} {
+		if !names[want] {
+			t.Errorf("no %s span recorded (got %v)", want, names)
+		}
 	}
 }
 
