@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"milr"
+	"milr/internal/gateway"
 )
 
 // errUnknownNetwork is the typed cause under every -models validation
@@ -18,19 +19,21 @@ var errUnknownNetwork = errors.New("unknown network")
 
 // config is the parsed flag set of one gateway process.
 type config struct {
-	addr        string
-	models      string
-	seed        uint64
-	batch       int
-	delay       time.Duration
-	workers     int
-	queueCap    int
-	deadline    time.Duration
-	maxDeadline time.Duration
-	guard       time.Duration
-	drain       time.Duration
-	trace       int
-	debugAddr   string
+	addr         string
+	models       string
+	modelsConfig string
+	allowAdmin   bool
+	seed         uint64
+	batch        int
+	delay        time.Duration
+	workers      int
+	queueCap     int
+	deadline     time.Duration
+	maxDeadline  time.Duration
+	guard        time.Duration
+	drain        time.Duration
+	trace        int
+	debugAddr    string
 }
 
 // parseFlags parses args into a config without touching global flag
@@ -40,6 +43,8 @@ func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("milr-gateway", flag.ContinueOnError)
 	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	fs.StringVar(&cfg.models, "models", "tiny", "comma-separated networks to serve: tiny, mnist, cifar-small, cifar-large (repeats allowed)")
+	fs.StringVar(&cfg.modelsConfig, "models-config", "", `JSON models file ({"models":[{"name":...,"network":...,"seed":...},...]}); overrides -models and is re-read on SIGHUP for live register/replace/unregister`)
+	fs.BoolVar(&cfg.allowAdmin, "allow-admin", false, "open the admin routes (DELETE/PUT /v1/models/{name}); they answer 403 otherwise")
 	fs.Uint64Var(&cfg.seed, "seed", 42, "master seed for model weights")
 	fs.IntVar(&cfg.batch, "batch", 8, "coalescing batch size per model")
 	fs.DurationVar(&cfg.delay, "delay", milr.DefaultMaxBatchDelay, "coalescing window (0 = flush immediately)")
@@ -60,17 +65,24 @@ func parseFlags(args []string) (*config, error) {
 	return cfg, nil
 }
 
-// buildFleet constructs the runtime and fleet the gateway fronts:
-// every -models entry initialized from its own derived seed, protected
-// and guard-scheduled when -guard is set. Duplicate network names get
-// -1/-2/... suffixes, as in milr-fleet.
-func buildFleet(ctx context.Context, cfg *config) (*milr.Fleet, error) {
-	builders := map[string]func() (*milr.Model, error){
-		"tiny":        milr.NewTinyNet,
-		"mnist":       milr.NewMNISTNet,
-		"cifar-small": milr.NewCIFARSmallNet,
-		"cifar-large": milr.NewCIFARLargeNet,
-	}
+// builders maps the network names -models, -models-config and the
+// admin PUT route accept onto the zoo constructors. Shared with
+// fleetAdmin so a SIGHUP reload and an admin PUT build engines through
+// the same table as boot.
+var builders = map[string]func() (*milr.Model, error){
+	"tiny":        milr.NewTinyNet,
+	"mnist":       milr.NewMNISTNet,
+	"cifar-small": milr.NewCIFARSmallNet,
+	"cifar-large": milr.NewCIFARLargeNet,
+}
+
+// buildFleet constructs the runtime, fleet and admin the gateway
+// fronts. The startup model set comes from -models-config when given
+// (the same specs a SIGHUP re-reads), else from the -models list with
+// per-model derived seeds; every model is protected and
+// guard-scheduled when -guard is set. The returned fleetAdmin backs
+// the admin routes and the SIGHUP reload loop.
+func buildFleet(ctx context.Context, cfg *config) (*milr.Fleet, *fleetAdmin, error) {
 	rt := milr.NewRuntime(
 		milr.WithSeed(cfg.seed),
 		milr.WithWorkers(cfg.workers),
@@ -80,49 +92,52 @@ func buildFleet(ctx context.Context, cfg *config) (*milr.Fleet, error) {
 		milr.WithDefaultDeadline(cfg.deadline),
 	)
 	fl := milr.NewFleet(rt)
-	names := strings.Split(cfg.models, ",")
-	seen := map[string]int{}
-	for i, net := range names {
-		net = strings.TrimSpace(net)
-		build, ok := builders[net]
-		if !ok {
+	admin := &fleetAdmin{fl: fl, rt: rt, guard: cfg.guard, specs: map[string]gateway.ModelSpec{}}
+	specs, err := initialSpecs(cfg)
+	if err != nil {
+		fl.Close()
+		return nil, nil, err
+	}
+	for _, s := range specs {
+		if _, err := admin.Apply(ctx, s.Name, s.ModelSpec); err != nil {
 			fl.Close()
-			return nil, fmt.Errorf("%w %q (tiny, mnist, cifar-small, cifar-large)", errUnknownNetwork, net)
-		}
-		m, err := build()
-		if err != nil {
-			fl.Close()
-			return nil, err
-		}
-		m.InitWeights(cfg.seed + uint64(i))
-		name := net
-		if strings.Count(cfg.models, net) > 1 {
-			seen[net]++
-			name = fmt.Sprintf("%s-%d", net, seen[net])
-		}
-		if cfg.guard > 0 {
-			pr, err := rt.Protect(ctx, m)
-			if err != nil {
-				fl.Close()
-				return nil, fmt.Errorf("protect %s: %w", name, err)
-			}
-			err = fl.RegisterProtected(name, pr)
-			if err != nil {
-				fl.Close()
-				return nil, err
-			}
-			continue
-		}
-		if err := fl.Register(name, m); err != nil {
-			fl.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if cfg.guard > 0 {
 		if err := fl.StartGuard(ctx, cfg.guard); err != nil {
 			fl.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return fl, nil
+	return fl, admin, nil
+}
+
+// initialSpecs derives the startup model set: the -models-config file
+// when given, else the -models list, where every entry gets its own
+// derived seed and duplicate network names get -1/-2/... suffixes, as
+// in milr-fleet.
+func initialSpecs(cfg *config) ([]namedSpec, error) {
+	if cfg.modelsConfig != "" {
+		return loadModelsConfig(cfg.modelsConfig)
+	}
+	names := strings.Split(cfg.models, ",")
+	seen := map[string]int{}
+	specs := make([]namedSpec, 0, len(names))
+	for i, net := range names {
+		net = strings.TrimSpace(net)
+		if _, ok := builders[net]; !ok {
+			return nil, fmt.Errorf("%w %q (tiny, mnist, cifar-small, cifar-large)", errUnknownNetwork, net)
+		}
+		name := net
+		if strings.Count(cfg.models, net) > 1 {
+			seen[net]++
+			name = fmt.Sprintf("%s-%d", net, seen[net])
+		}
+		specs = append(specs, namedSpec{
+			Name:      name,
+			ModelSpec: gateway.ModelSpec{Network: net, Seed: cfg.seed + uint64(i)},
+		})
+	}
+	return specs, nil
 }

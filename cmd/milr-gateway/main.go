@@ -6,11 +6,19 @@
 //
 // Routes:
 //
-//	POST /v1/models/{name}/predict   {"input":[...]} or {"inputs":[[...],...]}
-//	GET  /v1/models                  registered models, shapes and caps
-//	GET  /v1/trace?n=K               last K completed spans (404 without -trace)
-//	GET  /metrics                    Prometheus text exposition format
-//	GET  /healthz                    200 ok, or 503 while draining
+//	POST   /v1/models/{name}/predict  {"input":[...]} or {"inputs":[[...],...]}
+//	GET    /v1/models                 registered models, shapes and caps
+//	PUT    /v1/models/{name}          register/replace from a ModelSpec (403 without -allow-admin)
+//	DELETE /v1/models/{name}          unregister with a zero-drop drain (403 without -allow-admin)
+//	GET    /v1/trace?n=K              last K completed spans (404 without -trace)
+//	GET    /metrics                   Prometheus text exposition format
+//	GET    /healthz                   200 ok, or 503 while draining
+//
+// The fleet is elastic: with -allow-admin the PUT/DELETE routes swap
+// models under live traffic with zero dropped requests, and with
+// -models-config the daemon re-reads its models file on SIGHUP and
+// diffs it onto the fleet — registering new entries, live-replacing
+// changed ones, draining removed ones — without a restart.
 //
 // With -trace N every predict request records a span tree — from
 // gateway.request down to the per-layer tensor.gemm kernels — into a
@@ -29,6 +37,7 @@
 //	milr-gateway                                  # tiny net on 127.0.0.1:8080
 //	milr-gateway -models mnist,tiny -cap 128 -workers -1
 //	milr-gateway -guard 5ms                       # protected + self-healing fleet
+//	milr-gateway -models-config models.json -allow-admin   # elastic fleet, SIGHUP reloads
 //
 // On SIGINT/SIGTERM the daemon flips /healthz to 503, stops accepting
 // connections, finishes every in-flight request (the fleet serves all
@@ -44,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,7 +80,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	fl, err := buildFleet(ctx, cfg)
+	fl, admin, err := buildFleet(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -78,7 +88,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	// the shutdown path's explicit Close runs the one real drain.
 	defer fl.Close()
 
-	gwCfg := gateway.Config{MaxDeadline: cfg.maxDeadline}
+	gwCfg := gateway.Config{MaxDeadline: cfg.maxDeadline, Admin: admin, AllowAdmin: cfg.allowAdmin}
+	if cfg.allowAdmin {
+		log.Printf("milr-gateway: admin routes open (DELETE/PUT /v1/models/{name})")
+	}
 	if cfg.trace > 0 {
 		// Daemons trace on the wall clock; the fixed virtual clock is
 		// for deterministic tests. The seed only feeds generated request
@@ -104,10 +117,21 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		defer dsrv.Close()
 		log.Printf("milr-gateway: debug endpoints on http://%s/debug/pprof/", dln.Addr())
 	}
+	if cfg.modelsConfig != "" {
+		// The tdns config-watch idiom: SIGHUP re-reads the models file
+		// and diffs it onto the live fleet (register/replace/unregister
+		// with zero dropped requests). The loop exits with ctx.
+		go reloadLoop(ctx, admin, cfg.modelsConfig)
+		log.Printf("milr-gateway: SIGHUP reloads %s", cfg.modelsConfig)
+	}
 	srv := &http.Server{Handler: gw}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	log.Printf("milr-gateway: serving %s on http://%s", cfg.models, ln.Addr())
+	served := make([]string, 0, 4)
+	for _, mi := range fl.Models() {
+		served = append(served, mi.Name)
+	}
+	log.Printf("milr-gateway: serving %s on http://%s", strings.Join(served, ","), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -7,8 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -133,7 +137,139 @@ func TestBuildFleetUnknownModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildFleet(context.Background(), cfg); !errors.Is(err, errUnknownNetwork) {
+	if _, _, err := buildFleet(context.Background(), cfg); !errors.Is(err, errUnknownNetwork) {
 		t.Errorf("buildFleet(resnet) err = %v, want errUnknownNetwork", err)
+	}
+}
+
+// TestSIGHUPReloadSwapsModels is the daemon-level elasticity contract:
+// rewrite the models config, send SIGHUP, and the fleet follows — the
+// new model answers, the removed one 404s, and no request in the window
+// sees a 5xx. It drives the real run() on port 0 with a temp config.
+func TestSIGHUPReloadSwapsModels(t *testing.T) {
+	// Registering our own SIGHUP handler first keeps the default
+	// terminate-on-SIGHUP action disabled even before the daemon's
+	// reload loop has installed its own Notify.
+	hupGuard := make(chan os.Signal, 1)
+	signal.Notify(hupGuard, syscall.SIGHUP)
+	defer signal.Stop(hupGuard)
+
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "models.json")
+	writeConfig := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(cfgPath, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeConfig(`{"models":[{"name":"alpha","network":"tiny","seed":1}]}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-models-config", cfgPath,
+			"-allow-admin",
+			"-workers", "1",
+			"-deadline", "0",
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	var server5xx int
+	do := func(method, path, body string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode >= 500 {
+			server5xx++
+		}
+		return resp.StatusCode, string(raw)
+	}
+	sample := make([]float64, 144)
+	for i := range sample {
+		sample[i] = 0.5
+	}
+	rawSample, err := json.Marshal(map[string]any{"input": sample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(rawSample)
+
+	if code, out := do("GET", "/v1/models", ""); code != 200 || !strings.Contains(out, `"alpha"`) {
+		t.Fatalf("initial model index: %d %s", code, out)
+	}
+	if code, out := do("POST", "/v1/models/alpha/predict", body); code != 200 {
+		t.Fatalf("predict alpha before reload: %d %s", code, out)
+	}
+
+	// The rolling upgrade: beta replaces alpha in the config file.
+	writeConfig(`{"models":[{"name":"beta","network":"tiny","seed":2,"weight":2}]}`)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, out := do("GET", "/v1/models", "")
+		if code == 200 && strings.Contains(out, `"beta"`) && !strings.Contains(out, `"alpha"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reload never applied: %d %s", code, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, out := do("POST", "/v1/models/beta/predict", body); code != 200 {
+		t.Fatalf("predict beta after reload: %d %s", code, out)
+	}
+	if code, _ := do("POST", "/v1/models/alpha/predict", body); code != 404 {
+		t.Fatalf("predict alpha after reload: %d, want 404", code)
+	}
+
+	// The admin PUT route (open via -allow-admin) registers one more.
+	if code, out := do("PUT", "/v1/models/gamma", `{"network":"tiny","seed":3}`); code != 201 {
+		t.Fatalf("PUT gamma: %d %s, want 201", code, out)
+	}
+	if code, out := do("POST", "/v1/models/gamma/predict", body); code != 200 {
+		t.Fatalf("predict gamma: %d %s", code, out)
+	}
+	if code, out := do("GET", "/metrics", ""); code != 200 ||
+		!strings.Contains(out, "milr_fleet_unregistered_total 1") ||
+		!strings.Contains(out, "milr_fleet_models 2") {
+		t.Fatalf("metrics after churn: %d %s", code, out)
+	}
+	if server5xx != 0 {
+		t.Fatalf("%d requests answered 5xx during the reload window", server5xx)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never exited after cancel")
 	}
 }

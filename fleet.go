@@ -149,7 +149,17 @@ func (fl *Fleet) RegisterProtected(name string, pr *Protector, opts ...ModelOpti
 		o(&mc)
 	}
 	mc.Gate = pr.Sync
-	mc.Scrub = func(ctx context.Context) (fleet.ScrubResult, error) {
+	mc.Scrub = protectorScrub(pr)
+	return fl.f.Register(name, m, mc)
+}
+
+// protectorScrub adapts a Protector's self-heal cycle to the fleet's
+// Scrub hook, folding the detection/recovery reports into a ScrubResult
+// so the fleet can count heals without importing the engine. Shared by
+// RegisterProtected and ReplaceProtected so a swapped-in protected
+// engine scrubs exactly like a registered one.
+func protectorScrub(pr *Protector) func(context.Context) (fleet.ScrubResult, error) {
+	return func(ctx context.Context) (fleet.ScrubResult, error) {
 		det, rec, err := pr.SelfHealContext(ctx)
 		var res fleet.ScrubResult
 		if det != nil && det.HasErrors() {
@@ -160,7 +170,60 @@ func (fl *Fleet) RegisterProtected(name string, pr *Protector, opts ...ModelOpti
 		}
 		return res, err
 	}
-	return fl.f.Register(name, m, mc)
+}
+
+// Unregister removes a named model from the fleet under live traffic
+// with zero dropped requests: new admissions fail with ErrUnknownModel
+// immediately (backpressure-blocked callers are woken to the same
+// error), every already-admitted request still gets its answer while
+// the model's queue drains, the fleet guard's rotation skips the model,
+// and its fair-share weight leaves the arbiter once the drain ends.
+// Unregister blocks until the drain completes or ctx is done; an early
+// ctx return leaves the drain running in the background. The model's
+// per-model stats series are dropped, but its totals keep counting in
+// the fleet-wide aggregates, which stay monotonic.
+func (fl *Fleet) Unregister(ctx context.Context, name string) error {
+	return fl.f.Unregister(ctx, name)
+}
+
+// Replace swaps the named model's engine under live traffic — the
+// rolling-upgrade primitive. From the moment it returns, new admissions
+// and the requests already queued execute on m; a batch already in
+// flight finishes on the old engine. No request is ever dropped or
+// answered ErrFleetClosed across the cutover. The new engine's input
+// shape must equal the old's, and opts are resolved exactly as in
+// Register — a bare Replace resets weight and queue cap to their
+// defaults, so pass the full desired configuration. The model keeps its
+// name, queue, registration-order position, fair-share account and
+// stats series.
+func (fl *Fleet) Replace(ctx context.Context, name string, m *Model, opts ...ModelOption) error {
+	if m != nil && fl.rt.workersSet {
+		m.SetWorkers(fl.rt.opts.Workers)
+	}
+	var mc fleet.ModelConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	return fl.f.Replace(ctx, name, m, mc)
+}
+
+// ReplaceProtected swaps the named model's engine for a MILR-protected
+// one, with Replace's zero-drop cutover semantics: the new engine's
+// batches run inside pr's engine lock and the fleet guard scrubs it in
+// the round-robin schedule, exactly as if it had been registered with
+// RegisterProtected.
+func (fl *Fleet) ReplaceProtected(ctx context.Context, name string, pr *Protector, opts ...ModelOption) error {
+	m := pr.Model()
+	if fl.rt.workersSet {
+		m.SetWorkers(fl.rt.opts.Workers)
+	}
+	var mc fleet.ModelConfig
+	for _, o := range opts {
+		o(&mc)
+	}
+	mc.Gate = pr.Sync
+	mc.Scrub = protectorScrub(pr)
+	return fl.f.Replace(ctx, name, m, mc)
 }
 
 // Predict routes one sample to the named model and blocks until its

@@ -38,6 +38,20 @@
 //     already expired is rejected at enqueue time, never occupying a
 //     batch slot.
 //
+// The fleet is elastic: models come and go under live traffic.
+// Unregister cuts admission over to ErrUnknownModel immediately, wakes
+// backpressure-parked callers to the same error, drains the model's
+// queue with no coalescing delay, and — once the last batch lands —
+// retires the backend from the stride scheduler and the scrub rotation,
+// folding its admission totals into the fleet's retired aggregates so
+// Stats stays monotonic. Replace swaps a model's engine (model, weight,
+// cap, gate, scrub) atomically at batch granularity: the dispatcher
+// snapshots an engine under the fleet lock when it claims a batch, so a
+// batch in flight finishes on the old engine while everything after the
+// swap — including requests already queued — runs on the new one, and
+// no request is ever dropped or answered ErrClosed across the cutover
+// (swap_test.go is the torture battery).
+//
 // Self-healing models register a Scrub hook (the façade wires it to
 // Protector.SelfHealContext) and a Gate (Protector.Sync); StartGuard
 // then round-robins scrub cycles across all such models on one
@@ -56,6 +70,12 @@
 //     tie-break) — a hot model cannot starve a cold one.
 //   - Isolation: cancellation, queue overflow, corruption and scrub
 //     pauses on one model never affect another model's requests.
+//   - Zero-drop cutover: Unregister and Replace never drop an admitted
+//     request — the queue drains through a live engine, the guard's
+//     round-robin cursor survives a model vanishing mid-rotation
+//     without panicking or starving the survivors, and an unregistered
+//     model's totals stay in the fleet-wide aggregates (its per-model
+//     series are dropped) so counters never move backwards.
 //   - Drain-on-close: Close rejects new admissions fleet-wide
 //     (ErrClosed), wakes blocked backpressure callers, serves every
 //     already-admitted request on every model, and joins the

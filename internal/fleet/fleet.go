@@ -114,13 +114,16 @@ type ScrubResult struct {
 // backend is one registered model: its queue, arbiter state and stats.
 type backend struct {
 	name    string
-	model   *nn.Model
 	inShape tensor.Shape
-	weight  float64
-	cap     int // resolved queue cap, 0 = unbounded
-	block   bool
-	gate    func(func())
-	scrub   func(context.Context) (ScrubResult, error)
+
+	// Guarded by Fleet.mu (Replace swaps them live; batch executors and
+	// scrub cycles snapshot them under the lock before running):
+	model  *nn.Model
+	weight float64
+	cap    int // resolved queue cap, 0 = unbounded
+	block  bool
+	gate   func(func())
+	scrub  func(context.Context) (ScrubResult, error)
 
 	// Guarded by Fleet.mu:
 	pending  []*serve.Request
@@ -132,7 +135,24 @@ type backend struct {
 	heals     int64         // scrub cycles whose detection pass flagged errors
 	scrubTime time.Duration // cumulative wall time spent in completed scrub cycles
 
+	// gone marks an unregistered backend: admission is already
+	// impossible (it left the name map), the scrub rotation skips it,
+	// and the dispatcher drains its remaining queue with no coalescing
+	// delay. Once the queue is empty and no batch is in flight the
+	// backend retires: it leaves the arbiter's order and drained closes.
+	gone    bool
+	drained chan struct{}
+
 	stats *serve.Collector
+}
+
+// engine is the execution snapshot a dispatcher takes under Fleet.mu
+// when it claims a batch: Replace swaps the backend's model and gate
+// atomically with respect to batch boundaries, so one batch never sees
+// half of each.
+type engine struct {
+	model *nn.Model
+	gate  func(func())
 }
 
 // Fleet routes Predict/PredictBatch calls to per-model coalescing
@@ -158,6 +178,14 @@ type Fleet struct {
 	vtime   float64
 	closed  bool
 	guardOn bool
+	// Lifecycle counters (swaps = Replace calls, unregistered =
+	// Unregister calls) and the retired totals: when an unregistered
+	// backend finishes draining, its admission counters fold into
+	// retired so the fleet-wide aggregates in Stats stay monotonic even
+	// though the model's own series are dropped.
+	swaps        int64
+	unregistered int64
+	retired      struct{ admitted, served, rejected int64 }
 	// scrubIdx is the round-robin cursor over self-healing models,
 	// shared by the guard loop and ScrubOnce so a deterministic driver
 	// and the wall-clock guard walk the same schedule.
@@ -244,12 +272,158 @@ func (f *Fleet) Register(name string, m *nn.Model, mc ModelConfig) error {
 		gate:    mc.Gate,
 		scrub:   mc.Scrub,
 		space:   make(chan struct{}),
+		drained: make(chan struct{}),
 		pass:    f.vtime,
 		stats:   serve.NewCollector(f.batchSize),
 	}
 	f.backends[name] = b
 	f.order = append(f.order, b)
 	return nil
+}
+
+// Unregister removes a named model from the fleet, under traffic, with
+// zero dropped requests: new admissions fail with ErrUnknownModel the
+// moment the call starts (backpressure-blocked callers are woken to the
+// same error), the requests already admitted drain through the model's
+// engine with no coalescing delay, the scrub rotation skips the model
+// from now on, and once the queue is empty the model leaves the stride
+// scheduler — its weight no longer shapes arbitration. Unregister
+// blocks until that drain completes or ctx is done; an early ctx return
+// leaves the drain running in the background (the requests are still
+// answered). The model's per-model stats series are dropped, but its
+// admitted/served/rejected totals fold into the fleet-wide aggregates,
+// which therefore stay monotonic across the model's lifecycle.
+func (f *Fleet) Unregister(ctx context.Context, name string) error {
+	_, span := obs.Start(ctx, "fleet.swap")
+	span.SetAttr("op", "unregister")
+	span.SetAttr("model", name)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		span.SetAttr("outcome", "closed")
+		span.End()
+		return ErrClosed
+	}
+	b := f.backends[name]
+	if b == nil {
+		f.mu.Unlock()
+		span.SetAttr("outcome", "unknown_model")
+		span.End()
+		return fmt.Errorf("%w %q", ErrUnknownModel, name)
+	}
+	delete(f.backends, name) // admission now misses: ErrUnknownModel
+	b.gone = true
+	f.unregistered++
+	span.SetInt("drained", len(b.pending))
+	// Wake every backpressure-blocked enqueuer parked on this queue: it
+	// re-checks, sees gone, and fails with ErrUnknownModel.
+	close(b.space)
+	b.space = make(chan struct{})
+	f.retireLocked(b)
+	drained := b.drained
+	f.mu.Unlock()
+	f.wake() // gone queues flush with no coalescing delay
+	select {
+	case <-drained:
+		span.End()
+		return nil
+	case <-ctx.Done():
+		span.SetAttr("outcome", "ctx_done")
+		span.End()
+		return ctx.Err()
+	}
+}
+
+// Replace swaps the named model's engine under traffic: from the moment
+// it returns, every new admission — and every request already waiting
+// in the model's queue, which drains into the new engine — executes on
+// m, while a batch already in flight on the old engine finishes there.
+// No request is ever dropped or answered ErrClosed across the cutover.
+// The new engine's input shape must equal the old's (queued requests
+// were validated against it); mc is resolved exactly as in Register, so
+// a zero ModelConfig resets weight to 1 and the queue cap to the fleet
+// default — pass the full desired configuration, including the Gate and
+// Scrub hooks for a protected engine. The model keeps its name, its
+// queue, its registration-order position, its fair-share account and
+// its stats series.
+func (f *Fleet) Replace(ctx context.Context, name string, m *nn.Model, mc ModelConfig) error {
+	if m == nil {
+		return fmt.Errorf("fleet: nil model for %q", name)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if mc.Weight <= 0 {
+		mc.Weight = 1
+	}
+	_, span := obs.Start(ctx, "fleet.swap")
+	span.SetAttr("op", "replace")
+	span.SetAttr("model", name)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		span.SetAttr("outcome", "closed")
+		span.End()
+		return ErrClosed
+	}
+	b := f.backends[name]
+	if b == nil {
+		f.mu.Unlock()
+		span.SetAttr("outcome", "unknown_model")
+		span.End()
+		return fmt.Errorf("%w %q", ErrUnknownModel, name)
+	}
+	if !m.InShape().Equal(b.inShape) {
+		f.mu.Unlock()
+		span.SetAttr("outcome", "bad_shape")
+		span.End()
+		return fmt.Errorf("fleet: replacement for %q has input shape %v, want %v (queued requests were admitted against it)",
+			name, m.InShape(), b.inShape)
+	}
+	qcap := f.queueCap
+	if mc.QueueCap > 0 {
+		qcap = mc.QueueCap
+	} else if mc.QueueCap < 0 {
+		qcap = 0
+	}
+	b.model = m
+	b.weight = mc.Weight
+	b.cap = qcap
+	b.block = mc.Block
+	b.gate = mc.Gate
+	b.scrub = mc.Scrub
+	f.swaps++
+	span.SetInt("transferred", len(b.pending))
+	// A loosened cap (or a lifted one) frees slots: wake blocked callers.
+	close(b.space)
+	b.space = make(chan struct{})
+	f.mu.Unlock()
+	f.wake()
+	span.End()
+	return nil
+}
+
+// retireLocked removes a drained, unregistered backend from the
+// arbiter: once its queue is empty and no batch is in flight it leaves
+// f.order (releasing its stride-scheduler weight), its admission totals
+// fold into the fleet's retired aggregates, and its drained channel
+// closes so Unregister can return. Caller holds f.mu; safe to call
+// speculatively — it only acts when the backend is actually done.
+func (f *Fleet) retireLocked(b *backend) {
+	if !b.gone || b.inflight || len(b.pending) > 0 {
+		return
+	}
+	for i, o := range f.order {
+		if o == b {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			st := b.stats.Snapshot()
+			f.retired.admitted += st.Admitted
+			f.retired.served += st.Served
+			f.retired.rejected += st.Rejected
+			close(b.drained)
+			return
+		}
+	}
 }
 
 // Predict routes one sample to the named model's queue and blocks until
@@ -339,7 +513,9 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 	if b == nil {
 		names := make([]string, 0, len(f.order))
 		for _, o := range f.order {
-			names = append(names, o.name)
+			if !o.gone {
+				names = append(names, o.name)
+			}
 		}
 		f.mu.Unlock()
 		admit.SetAttr("outcome", "unknown_model")
@@ -358,6 +534,14 @@ func (f *Fleet) enqueue(ctx context.Context, model string, x *tensor.Tensor) (*s
 			admit.End()
 			f.mu.Unlock()
 			return nil, ErrClosed
+		}
+		if b.gone {
+			// The model was unregistered while this caller was parked in
+			// backpressure: same answer a fresh caller would get.
+			admit.SetAttr("outcome", "unknown_model")
+			admit.End()
+			f.mu.Unlock()
+			return nil, fmt.Errorf("%w %q (unregistered)", ErrUnknownModel, model)
 		}
 		if err := ctx.Err(); err != nil {
 			admit.SetAttr("outcome", "ctx_done")
@@ -461,11 +645,12 @@ func (f *Fleet) wake() {
 }
 
 // flushableLocked reports whether b's queue head is ready to execute:
-// a full batch, an expired coalescing window, no window at all, or a
-// closing fleet (drain flushes immediately). Caller holds f.mu and has
-// checked b.pending is non-empty and b is not inflight.
+// a full batch, an expired coalescing window, no window at all, a
+// closing fleet, or a draining (unregistered) model — both drains flush
+// immediately. Caller holds f.mu and has checked b.pending is non-empty
+// and b is not inflight.
 func (f *Fleet) flushableLocked(b *backend, now time.Time) bool {
-	if f.closed || f.maxDelay == 0 || len(b.pending) >= f.batchSize {
+	if f.closed || b.gone || f.maxDelay == 0 || len(b.pending) >= f.batchSize {
 		return true
 	}
 	return !now.Before(b.pending[0].EnqueuedAt().Add(f.maxDelay))
@@ -473,9 +658,11 @@ func (f *Fleet) flushableLocked(b *backend, now time.Time) bool {
 
 // takeLocked drains up to one batch from b and charges b's fair-share
 // account: pass advances by requests/weight, so a heavy queue with
-// weight w flushes w× as often as a weight-1 one under contention.
-// Caller holds f.mu.
-func (f *Fleet) takeLocked(b *backend) []*serve.Request {
+// weight w flushes w× as often as a weight-1 one under contention. It
+// also snapshots the execution engine: Replace swaps b.model/b.gate
+// under f.mu, so capturing them at take time is what makes the cutover
+// atomic at batch granularity. Caller holds f.mu.
+func (f *Fleet) takeLocked(b *backend) ([]*serve.Request, engine) {
 	n := f.batchSize
 	if n > len(b.pending) {
 		n = len(b.pending)
@@ -491,7 +678,7 @@ func (f *Fleet) takeLocked(b *backend) []*serve.Request {
 	// Queue slots freed: broadcast to any backpressure-blocked callers.
 	close(b.space)
 	b.space = make(chan struct{})
-	return batch
+	return batch, engine{model: b.model, gate: b.gate}
 }
 
 // run is the dispatcher: one goroutine that owns arbitration. Each
@@ -557,26 +744,30 @@ func (f *Fleet) run() {
 			continue
 		}
 		b := pick
-		batch := f.takeLocked(b)
+		batch, eng := f.takeLocked(b)
 		f.mu.Unlock()
 		// The dispatcher's wake-up runs only after the pool slot is
 		// visibly free again (Pool.Go's afterRelease ordering):
 		// waking from inside the executor could be consumed before the
 		// release and leave the dispatcher parked with work queued.
-		f.pool.Go(func() { f.execute(b, batch) }, f.wake)
+		f.pool.Go(func() { f.execute(b, eng, batch) }, f.wake)
 	}
 }
 
 // execute answers one coalesced batch on a pool worker through the
 // shared serve.ExecuteBatch machinery (cancellation at flush,
 // gate-wrapped GEMM, per-request demux), then returns the model to the
-// schedulable set. The dispatcher's wake-up is fired by the pool after
-// the slot release, not here.
-func (f *Fleet) execute(b *backend, batch []*serve.Request) {
-	serve.ExecuteBatch(b.model, b.gate, batch, b.stats,
+// schedulable set — or retires it, if this was the last batch of an
+// unregistered model's drain. The engine snapshot was taken under f.mu
+// at batch-claim time, so a concurrent Replace cannot tear it. The
+// dispatcher's wake-up is fired by the pool after the slot release, not
+// here.
+func (f *Fleet) execute(b *backend, eng engine, batch []*serve.Request) {
+	serve.ExecuteBatch(eng.model, eng.gate, batch, b.stats,
 		fmt.Sprintf("fleet: model %q batch", b.name))
 	f.mu.Lock()
 	b.inflight = false
+	f.retireLocked(b)
 	f.mu.Unlock()
 }
 
@@ -603,7 +794,7 @@ func (f *Fleet) StartGuard(ctx context.Context, interval time.Duration) error {
 	}
 	n := 0
 	for _, b := range f.order {
-		if b.scrub != nil {
+		if b.scrub != nil && !b.gone {
 			n++
 		}
 	}
@@ -643,7 +834,7 @@ func (f *Fleet) scrubNext(ctx context.Context) (string, ScrubResult, error) {
 	f.mu.Lock()
 	var scrubbable []*backend
 	for _, b := range f.order {
-		if b.scrub != nil {
+		if b.scrub != nil && !b.gone {
 			scrubbable = append(scrubbable, b)
 		}
 	}
@@ -653,11 +844,15 @@ func (f *Fleet) scrubNext(ctx context.Context) (string, ScrubResult, error) {
 	}
 	b := scrubbable[f.scrubIdx%len(scrubbable)]
 	f.scrubIdx++
+	// Snapshot the hook under the lock: Replace may swap b.scrub while
+	// this cycle runs, and the cycle must belong entirely to the engine
+	// that was current when the cursor picked it.
+	scrub := b.scrub
 	f.mu.Unlock()
 	sctx, span := obs.Start(ctx, "fleet.scrub")
 	span.SetAttr("model", b.name)
 	t0 := time.Now()
-	res, err := b.scrub(sctx)
+	res, err := scrub(sctx)
 	dur := time.Since(t0)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		// Shutdown aborted the cycle mid-scrub (layer-atomically —

@@ -28,21 +28,28 @@ type ModelInfo struct {
 	Guarded bool
 }
 
-// Models returns the registered models in registration order. The
-// slice is a snapshot: models registered after the call are not
-// reflected in it.
+// Models returns the registered models in registration order: the
+// order of the Register calls that created the current registrations,
+// so a model unregistered and re-registered under the same name moves
+// to the end — the deterministic-order contract /v1/models and trace
+// replay rely on. Models mid-drain after Unregister are already gone
+// from the listing. The slice is a snapshot: models registered after
+// the call are not reflected in it.
 func (f *Fleet) Models() []ModelInfo {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := make([]ModelInfo, len(f.order))
-	for i, b := range f.order {
-		out[i] = ModelInfo{
+	out := make([]ModelInfo, 0, len(f.order))
+	for _, b := range f.order {
+		if b.gone {
+			continue
+		}
+		out = append(out, ModelInfo{
 			Name:     b.name,
 			InShape:  b.inShape.Clone(),
 			Weight:   b.weight,
 			QueueCap: b.cap,
 			Guarded:  b.scrub != nil,
-		}
+		})
 	}
 	return out
 }
@@ -87,8 +94,18 @@ type Stats struct {
 	// rejections (the sum of every model's Rejected counter).
 	Rejected int64
 	// Admitted and Served aggregate the same per-model counters
-	// fleet-wide — the one-line load summary.
+	// fleet-wide — the one-line load summary. Both include the totals
+	// of models that have since been unregistered (as does Rejected),
+	// so the fleet-wide aggregates stay monotonic across model
+	// lifecycles even though an unregistered model's own series are
+	// dropped from Models the moment Unregister is called.
 	Admitted, Served int64
+	// Swaps counts Replace calls that succeeded — rolling-upgrade
+	// cutovers performed over the fleet's lifetime.
+	Swaps int64
+	// Unregistered counts Unregister calls that succeeded (the drain
+	// may still be running when a snapshot is taken).
+	Unregistered int64
 	// GEMMCalls is the process-wide GEMM kernel invocation count
 	// (tensor.GEMMCalls) at snapshot time. It counts every stacked
 	// product in the process — serving batches, scrub probes, recovery
@@ -98,27 +115,58 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of every model's counters plus fleet-level
-// aggregates. See ModelStats and serve.Stats for field semantics.
+// aggregates. See ModelStats and serve.Stats for field semantics. The
+// metrics-lifecycle contract after Unregister: the model's per-model
+// series are dropped from Models immediately (not frozen at their last
+// value), while its admitted/served/rejected counts keep contributing
+// to the fleet-wide aggregates — first live while the drain runs, then
+// folded into the fleet's retired totals — so the aggregates never move
+// backwards.
 func (f *Fleet) Stats() Stats {
 	f.mu.Lock()
-	backends := append([]*backend(nil), f.order...)
-	queued := make([]int, len(backends))
-	scrubs := make([]int64, len(backends))
-	heals := make([]int64, len(backends))
-	scrubErrs := make([]int64, len(backends))
-	scrubTimes := make([]time.Duration, len(backends))
-	for i, b := range backends {
-		queued[i] = len(b.pending)
-		scrubs[i], heals[i], scrubErrs[i] = b.scrubs, b.heals, b.scrubErr
-		scrubTimes[i] = b.scrubTime
+	backends := make([]*backend, 0, len(f.order))
+	var weights []float64
+	var caps []int
+	var queued []int
+	var scrubs, heals, scrubErrs []int64
+	var scrubTimes []time.Duration
+	st := Stats{
+		GEMMCalls:    tensor.GEMMCalls(),
+		Swaps:        f.swaps,
+		Unregistered: f.unregistered,
+		Admitted:     f.retired.admitted,
+		Served:       f.retired.served,
+		Rejected:     f.retired.rejected,
+	}
+	var draining []*serve.Collector
+	for _, b := range f.order {
+		if b.gone {
+			// Mid-drain: the model's series are already dropped, but its
+			// counts must keep feeding the monotonic fleet aggregates
+			// until they fold into the retired totals.
+			draining = append(draining, b.stats)
+			continue
+		}
+		backends = append(backends, b)
+		weights = append(weights, b.weight)
+		caps = append(caps, b.cap)
+		queued = append(queued, len(b.pending))
+		scrubs, heals, scrubErrs = append(scrubs, b.scrubs), append(heals, b.heals), append(scrubErrs, b.scrubErr)
+		scrubTimes = append(scrubTimes, b.scrubTime)
 	}
 	f.mu.Unlock()
-	st := Stats{Models: make(map[string]ModelStats, len(backends)), GEMMCalls: tensor.GEMMCalls()}
+	for _, c := range draining {
+		s := c.Snapshot()
+		st.Rejected += s.Rejected
+		st.Admitted += s.Admitted
+		st.Served += s.Served
+	}
+	st.Models = make(map[string]ModelStats, len(backends))
 	for i, b := range backends {
 		ms := ModelStats{
 			Stats:         b.stats.Snapshot(),
-			Weight:        b.weight,
-			QueueCap:      b.cap,
+			Weight:        weights[i],
+			QueueCap:      caps[i],
 			Scrubs:        scrubs[i],
 			Heals:         heals[i],
 			ScrubFailures: scrubErrs[i],

@@ -51,6 +51,47 @@ type Backend interface {
 	Models() []fleet.ModelInfo
 }
 
+// Admin is the management slice of the fleet behind the gateway's admin
+// routes: remove a model under traffic, or register/replace one from a
+// declarative spec. The daemon implements it over *milr.Fleet (it owns
+// the model builders a ModelSpec names); tests substitute fakes. The
+// routes answer 403 until Config.AllowAdmin is set, so handing a
+// Gateway an Admin is not by itself an exposure.
+type Admin interface {
+	// Unregister removes the named model with the fleet's zero-drop
+	// drain semantics; it returns fleet.ErrUnknownModel for names that
+	// are not registered.
+	Unregister(ctx context.Context, name string) error
+	// Apply registers (created=true) or replaces (created=false) the
+	// named model from spec. A spec naming an unknown network or
+	// otherwise unbuildable model fails with an error wrapping
+	// ErrInvalidSpec.
+	Apply(ctx context.Context, name string, spec ModelSpec) (created bool, err error)
+}
+
+// ModelSpec declares one model on the admin surface: which zoo network
+// to build, the weight-init seed, and the fleet registration knobs. It
+// is both the PUT /v1/models/{name} request body and one entry of the
+// daemon's models config file, so a SIGHUP reload and an admin PUT
+// build engines through the same code.
+type ModelSpec struct {
+	// Network names the model architecture ("tiny", "mnist", ...); the
+	// Admin implementation resolves it against its builder table.
+	Network string `json:"network"`
+	// Seed is the deterministic weight-init seed.
+	Seed uint64 `json:"seed"`
+	// Weight is the fleet fair-share weight; 0 means the default (1).
+	Weight float64 `json:"weight,omitempty"`
+	// QueueCap overrides the fleet's default admission queue cap for
+	// this model: > 0 caps, < 0 forces unbounded, 0 inherits.
+	QueueCap int `json:"queue_cap,omitempty"`
+}
+
+// ErrInvalidSpec is wrapped by Admin.Apply errors caused by the spec
+// itself — an unknown network name, an unbuildable model — as opposed
+// to fleet lifecycle errors. The gateway maps it to 400.
+var ErrInvalidSpec = errors.New("gateway: invalid model spec")
+
 // Config configures New. The zero value is usable.
 type Config struct {
 	// MaxBody caps the request body size in bytes; 0 means
@@ -67,6 +108,13 @@ type Config struct {
 	// span ring. Nil keeps the route registered but answering 404 and
 	// adds no per-request overhead.
 	Tracer *obs.Tracer
+	// Admin, when non-nil, backs the admin routes
+	// (DELETE/PUT /v1/models/{model}). The routes still answer 403
+	// until AllowAdmin is also set.
+	Admin Admin
+	// AllowAdmin opens the admin routes. Leave it false on any listener
+	// exposed to untrusted clients: the routes mutate the fleet.
+	AllowAdmin bool
 }
 
 // Gateway is the HTTP handler tree over a Backend: predict routes, the
@@ -79,6 +127,8 @@ type Gateway struct {
 	maxBody     int64
 	maxDeadline time.Duration
 	tracer      *obs.Tracer
+	admin       Admin
+	allowAdmin  bool
 	draining    atomic.Bool
 }
 
@@ -87,9 +137,14 @@ func New(b Backend, cfg Config) *Gateway {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = DefaultMaxBody
 	}
-	g := &Gateway{b: b, mux: http.NewServeMux(), maxBody: cfg.MaxBody, maxDeadline: cfg.MaxDeadline, tracer: cfg.Tracer}
+	g := &Gateway{
+		b: b, mux: http.NewServeMux(), maxBody: cfg.MaxBody, maxDeadline: cfg.MaxDeadline,
+		tracer: cfg.Tracer, admin: cfg.Admin, allowAdmin: cfg.AllowAdmin,
+	}
 	g.mux.HandleFunc("POST /v1/models/{model}/predict", g.handlePredict)
 	g.mux.HandleFunc("GET /v1/models", g.handleModels)
+	g.mux.HandleFunc("DELETE /v1/models/{model}", g.handleUnregister)
+	g.mux.HandleFunc("PUT /v1/models/{model}", g.handleApply)
 	g.mux.HandleFunc("GET /v1/trace", g.handleTrace)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
@@ -310,6 +365,65 @@ func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// adminResponse is the JSON body of a successful admin operation.
+type adminResponse struct {
+	Model  string `json:"model"`
+	Status string `json:"status"`
+}
+
+// adminGate answers the admin routes' 403 when the surface is disabled
+// (no Admin wired, or AllowAdmin off) and reports whether the handler
+// may proceed.
+func (g *Gateway) adminGate(w http.ResponseWriter) bool {
+	if g.admin == nil || !g.allowAdmin {
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: "admin surface disabled"})
+		return false
+	}
+	return true
+}
+
+func (g *Gateway) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if !g.adminGate(w) {
+		return
+	}
+	name := r.PathValue("model")
+	if err := g.admin.Unregister(r.Context(), name); err != nil {
+		status, body := g.errorStatus(w, name, err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, adminResponse{Model: name, Status: "unregistered"})
+}
+
+func (g *Gateway) handleApply(w http.ResponseWriter, r *http.Request) {
+	if !g.adminGate(w) {
+		return
+	}
+	name := r.PathValue("model")
+	var spec ModelSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad payload: " + err.Error(), Model: name})
+		return
+	}
+	created, err := g.admin.Apply(r.Context(), name, spec)
+	if err != nil {
+		if errors.Is(err, ErrInvalidSpec) {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Model: name})
+			return
+		}
+		status, body := g.errorStatus(w, name, err)
+		writeJSON(w, status, body)
+		return
+	}
+	if created {
+		writeJSON(w, http.StatusCreated, adminResponse{Model: name, Status: "registered"})
+		return
+	}
+	writeJSON(w, http.StatusOK, adminResponse{Model: name, Status: "replaced"})
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {

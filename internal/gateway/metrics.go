@@ -54,6 +54,11 @@ func fnum(v float64) string {
 // emitted as 0, which would read as "zero latency") until it has
 // served at least one request; every counter and gauge series is
 // always present so dashboards see the model the moment it registers.
+// Per the metrics-lifecycle contract, an unregistered model's per-model
+// series are dropped from the exposition (not frozen at their last
+// value), while the fleet-wide *_total families keep its history — the
+// fleet folds retired models' counts into its aggregates — so no
+// counter ever moves backwards across a model's lifecycle.
 func WriteMetrics(w io.Writer, st fleet.Stats) error {
 	names := make([]string, 0, len(st.Models))
 	for name := range st.Models {
@@ -146,6 +151,12 @@ func WriteMetrics(w io.Writer, st fleet.Stats) error {
 	mw.emit("milr_fleet_rejected_total %d\n", st.Rejected)
 	mw.family("milr_fleet_served_total", "Fleet-wide served requests.", "counter")
 	mw.emit("milr_fleet_served_total %d\n", st.Served)
+	mw.family("milr_fleet_models", "Models currently registered (unregistered models leave the gauge and their per-model series are dropped; the fleet-wide totals keep their history).", "gauge")
+	mw.emit("milr_fleet_models %d\n", len(st.Models))
+	mw.family("milr_fleet_swaps_total", "Rolling-upgrade engine replacements (Fleet.Replace) performed.", "counter")
+	mw.emit("milr_fleet_swaps_total %d\n", st.Swaps)
+	mw.family("milr_fleet_unregistered_total", "Models unregistered over the fleet's lifetime.", "counter")
+	mw.emit("milr_fleet_unregistered_total %d\n", st.Unregistered)
 	mw.family("milr_gemm_calls_total",
 		"Process-wide GEMM kernel invocations (serving batches, scrub probes, recovery sweeps).",
 		"counter")

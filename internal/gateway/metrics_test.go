@@ -2,14 +2,19 @@ package gateway_test
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"milr/internal/fleet"
 	"milr/internal/gateway"
+	"milr/internal/nn"
+	"milr/internal/prng"
 	"milr/internal/serve"
 )
 
@@ -135,6 +140,71 @@ func TestWriteMetricsZeroTraffic(t *testing.T) {
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(series)) {
 			t.Errorf("idle snapshot missing series %q:\n%s", series, out)
+		}
+	}
+}
+
+// TestWriteMetricsLifecycleCycle extends the zero-traffic/NaN scan
+// across a full register→serve→unregister cycle on a live fleet: every
+// scrape along the way must be finite, the unregistered model's series
+// must vanish, and the fleet-wide totals must never move backwards.
+func TestWriteMetricsLifecycleCycle(t *testing.T) {
+	f, _, _ := tinyFixture(t, fleet.Config{Workers: 1, BatchSize: 2}, fleet.ModelConfig{}, 1)
+	m, err := nn.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(2)
+	if err := f.Register("cycle", m, fleet.ModelConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	scrape := func() string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gateway.WriteMetrics(&buf, f.Stats()); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Fatalf("non-finite value in scrape:\n%s", out)
+		}
+		return out
+	}
+	// Freshly registered, zero traffic: series present at zero, no
+	// latency summary.
+	out := scrape()
+	if !strings.Contains(out, `milr_model_admitted_total{model="cycle"} 0`) {
+		t.Fatalf("fresh model missing zero counter:\n%s", out)
+	}
+	if strings.Contains(out, `milr_model_latency_seconds{model="cycle"`) {
+		t.Fatalf("fresh model emitted latency quantiles:\n%s", out)
+	}
+	stream := prng.New(99)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := f.Predict(ctx, "cycle", stream.Tensor(12, 12, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out = scrape()
+	if !strings.Contains(out, `milr_model_served_total{model="cycle"} 3`) {
+		t.Fatalf("served counter missing after traffic:\n%s", out)
+	}
+	served := f.Stats().Served
+	if err := f.Unregister(ctx, "cycle"); err != nil {
+		t.Fatal(err)
+	}
+	out = scrape()
+	if strings.Contains(out, `model="cycle"`) {
+		t.Fatalf("unregistered model's series survived:\n%s", out)
+	}
+	for _, series := range []string{
+		"milr_fleet_served_total " + strconv.FormatInt(served, 10),
+		"milr_fleet_unregistered_total 1",
+		"milr_fleet_models 1",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("post-unregister scrape missing %q (aggregates must not regress):\n%s", series, out)
 		}
 	}
 }

@@ -76,6 +76,10 @@ var goldenAPI = []string{
 	"WithModelQueueCap",
 	"WithModelWeight",
 	"WithQueueCap",
+	// Elasticity (PR 10): rolling model swaps under live traffic.
+	"Fleet.Replace",
+	"Fleet.ReplaceProtected",
+	"Fleet.Unregister",
 	// Re-exported engine types.
 	"DetectionReport",
 	"Guard",

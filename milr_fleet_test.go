@@ -369,3 +369,99 @@ func TestFleetGuardedSoak(t *testing.T) {
 		st.Served, st.Models["a"].Scrubs, st.Models["b"].Scrubs,
 		st.Models["a"].MeanBatchFill, st.Models["b"].MeanBatchFill)
 }
+
+// TestFleetRollingSwapProtected drives the elasticity surface through
+// the façade: a MILR-protected model is replaced by a freshly protected
+// engine with identical weights while clients hammer it (zero errors,
+// bit-identical answers), then unregistered — after which admission
+// 404s, the guard has nothing left to scrub, and the fleet-wide
+// aggregates have forgotten nothing.
+func TestFleetRollingSwapProtected(t *testing.T) {
+	ctx := context.Background()
+	net := buildFleetNet(t, "m", milr.NewTinyNet, 31, 8)
+	rt := milr.NewRuntime(
+		milr.WithSeed(7),
+		milr.WithWorkers(2),
+		milr.WithBatchSize(2),
+		milr.WithMaxBatchDelay(time.Millisecond),
+	)
+	fl := milr.NewFleet(rt)
+	defer fl.Close()
+	prOld, err := rt.Protect(ctx, net.model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.RegisterProtected("m", prOld); err != nil {
+		t.Fatal(err)
+	}
+	// The replacement: a distinct engine instance with bit-identical
+	// weights, protected by its own Protector.
+	mNew, err := milr.NewTinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mNew.InitWeights(31)
+	prNew, err := rt.Protect(ctx, mNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 4, 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient)
+	started := make(chan struct{}, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				got, err := fl.Predict(ctx, "m", net.xs[(c+r)%len(net.xs)])
+				if err != nil {
+					errCh <- fmt.Errorf("client %d request %d: %w", c, r, err)
+					return
+				}
+				if got != net.want[(c+r)%len(net.xs)] {
+					errCh <- fmt.Errorf("client %d request %d: routed %d, want %d", c, r, got, net.want[(c+r)%len(net.xs)])
+					return
+				}
+				if r == 0 {
+					started <- struct{}{}
+				}
+			}
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		<-started
+	}
+	if err := fl.ReplaceProtected(ctx, "m", prNew); err != nil {
+		t.Fatalf("ReplaceProtected under traffic: %v", err)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// The swapped-in engine is scrubbed by the guard machinery.
+	if name, _, err := fl.ScrubOnce(ctx); err != nil || name != "m" {
+		t.Fatalf("ScrubOnce after swap: name=%q err=%v", name, err)
+	}
+	if err := fl.Unregister(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Predict(ctx, "m", net.xs[0]); !errors.Is(err, milr.ErrUnknownModel) {
+		t.Fatalf("Predict after Unregister: got %v, want ErrUnknownModel", err)
+	}
+	if _, _, err := fl.ScrubOnce(ctx); err == nil {
+		t.Fatal("ScrubOnce with no self-healing models left must fail")
+	}
+	st := fl.Stats()
+	if st.Swaps != 1 || st.Unregistered != 1 {
+		t.Fatalf("lifecycle counters: swaps=%d unregistered=%d, want 1/1", st.Swaps, st.Unregistered)
+	}
+	if want := int64(clients * perClient); st.Served != want {
+		t.Fatalf("aggregates lost the unregistered model's history: served=%d, want %d", st.Served, want)
+	}
+	if len(st.Models) != 0 {
+		t.Fatalf("unregistered model's series must be dropped, got %d entries", len(st.Models))
+	}
+}
